@@ -1,0 +1,24 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark module regenerates one table/figure of the paper:
+
+* the *simulated* series (milliseconds on the modeled Titan X Maxwell at
+  the paper's data scale) is computed by the experiment functions in
+  :mod:`repro.bench.figures`, printed as an ASCII table, and attached to
+  the pytest-benchmark record via ``extra_info``;
+* the *wall-clock* number measured by pytest-benchmark times a
+  representative functional run of the reproduction itself (reduced input
+  size), which tracks performance regressions of this codebase.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def functional_n():
+    """Functional input size for the wall-clock measurement paths."""
+    return 1 << 16

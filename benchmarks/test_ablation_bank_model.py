@@ -1,0 +1,70 @@
+"""Ablation: the bank-conflict model behind the delta_i factors.
+
+Regenerates the conflict-factor story of Figures 6/7/10 as a table —
+contiguous chunks conflict B-way without padding, padding fixes them,
+strided combined steps stay 2-way under padding alone, and chunk
+permutation removes the rest — and cross-validates one configuration
+against the micro SIMT executor's measured conflicts.
+"""
+
+import numpy as np
+
+from repro.bench.report import Figure, record_figure
+from repro.bitonic.simt_kernels import block_topk_kernel
+from repro.gpu.banks import ChunkShape, chunk_conflict_factor
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import ThreadBlock
+
+
+def test_bank_conflict_model(benchmark):
+    figure = Figure(
+        "ablX-banks",
+        "Combined-step bank-conflict factors (delta_i of Section 7.2)",
+        "chunk shape",
+        "serialization factor",
+        paper_expectation=(
+            "Figure 6: unpadded contiguous chunks conflict B-way; Figure 7: "
+            "padding fixes them; Figure 10: strided steps need chunk "
+            "permutation."
+        ),
+    )
+    unpadded = figure.add_series("no-optimization")
+    padded = figure.add_series("+padding")
+    permuted = figure.add_series("+chunk-permutation")
+    shapes = {
+        "contig-4": ChunkShape((0, 1)),
+        "contig-16": ChunkShape((0, 1, 2, 3)),
+        "runs@16": ChunkShape((0, 1, 2, 4)),
+        "runs@64": ChunkShape((0, 1, 2, 6)),
+        "runs@256": ChunkShape((0, 1, 2, 8)),
+    }
+    for label, shape in shapes.items():
+        unpadded.add(label, chunk_conflict_factor(shape, padding=False))
+        padded.add(label, chunk_conflict_factor(shape, padding=True))
+        permuted.add(
+            label,
+            chunk_conflict_factor(shape, padding=True, chunk_permutation=True),
+        )
+    record_figure(benchmark, figure)
+
+    for label in shapes:
+        assert permuted.points[label] <= padded.points[label] <= (
+            unpadded.points[label]
+        )
+        assert permuted.points[label] == 1.0
+    assert unpadded.points["contig-16"] == 16.0
+    assert padded.points["contig-16"] == 1.0
+    assert padded.points["runs@64"] > 1.0
+
+    # Cross-validation: the micro SIMT kernel's measured average factor
+    # stays within the single-step model's bounds.
+    def run_micro():
+        data = list(np.random.default_rng(0).random(256))
+        memory = GlobalMemory(data + [0.0] * 8)
+        block = ThreadBlock(128, shared_words=256, global_memory=memory)
+        block.run(lambda ctx: block_topk_kernel(ctx, 256, 8))
+        return block.shared.stats.average_conflict_factor
+
+    factor = run_micro()
+    assert 1.0 <= factor <= 2.0
+    benchmark(run_micro)

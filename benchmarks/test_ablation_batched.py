@@ -1,0 +1,55 @@
+"""Ablation: batched per-row top-k vs repeated single launches.
+
+The TensorFlow/ArrayFire feature requests the introduction cites want a
+*batched* top-k (one per row of a [batch, n] tensor).  The bitonic network
+applies elementwise along rows, so a single fused launch pipeline covers
+the whole batch; this bench quantifies the launch-amortization win over
+running the single-row algorithm per row.
+"""
+
+import numpy as np
+
+from repro.bench.report import Figure, record_figure
+from repro.bitonic.topk import BitonicTopK
+from repro.core.batched import batched_topk
+from repro.data.distributions import uniform_floats
+from repro.gpu.device import get_device
+
+ROW_LENGTH = 4096
+K = 16
+
+
+def test_batched_amortization(benchmark):
+    device = get_device()
+    figure = Figure(
+        "ablX-batched",
+        f"Batched top-{K} (rows of {ROW_LENGTH} floats)",
+        "batch size",
+        "simulated ms",
+        paper_expectation=(
+            "One fused launch pipeline per batch: per-row cost falls as the "
+            "batch grows, while per-row launches pay fixed overhead each."
+        ),
+    )
+    batched_series = figure.add_series("batched")
+    per_row_series = figure.add_series("row-at-a-time")
+    rng = np.random.default_rng(0)
+    single = BitonicTopK(device).run(
+        rng.random(ROW_LENGTH).astype(np.float32), K
+    )
+    single_ms = single.simulated_ms(device)
+    for batch in (1, 16, 256, 4096):
+        matrix = rng.random((min(batch, 64), ROW_LENGTH)).astype(np.float32)
+        result = batched_topk(matrix, K, device=device, model_rows=batch)
+        batched_series.add(batch, result.simulated_ms(device))
+        per_row_series.add(batch, batch * single_ms)
+    record_figure(benchmark, figure)
+
+    assert batched_series.points[256] < per_row_series.points[256]
+    # The advantage grows with the batch.
+    gain_small = per_row_series.points[16] / batched_series.points[16]
+    gain_large = per_row_series.points[4096] / batched_series.points[4096]
+    assert gain_large >= gain_small
+
+    matrix = rng.random((64, ROW_LENGTH)).astype(np.float32)
+    benchmark(lambda: batched_topk(matrix, K, device=device))

@@ -1,0 +1,53 @@
+"""Ablation: out-of-core top-k over PCIe (Section 4.3 discussion).
+
+The paper argues top-k's reductive nature makes oversized inputs easy to
+stream "in memory-size chunks and overlap computation with transfer".
+This bench quantifies that on the simulated card: a 2^33-key input
+(32 GiB, 2.7x the Titan X's memory) streamed with and without overlap,
+plus the chunk-size sweep showing the pipeline is transfer-bound at PCIe
+speeds.
+"""
+
+import numpy as np
+
+from repro.bench.report import Figure, record_figure
+from repro.core.chunked import ChunkedTopK, chunked_topk
+from repro.data.distributions import uniform_floats
+from repro.gpu.device import get_device
+
+MODEL_N = 1 << 33  # 32 GiB of floats, larger than the 12 GiB card
+
+
+def test_chunked_pipeline(benchmark, functional_n):
+    device = get_device()
+    figure = Figure(
+        "ablX-chunked",
+        "Out-of-core top-64 over PCIe (2^33 floats, 12 GiB card)",
+        "configuration",
+        "simulated ms",
+        paper_expectation=(
+            "Section 4.3: chunking with transfer/compute overlap makes "
+            "oversized inputs nearly transfer-bound."
+        ),
+    )
+    data = uniform_floats(functional_n)
+    series = figure.add_series("pipeline")
+    results = {}
+    for overlap, label in ((False, "serial"), (True, "overlapped")):
+        result = chunked_topk(
+            data, 64, device=device, overlap=overlap, model_n=MODEL_N
+        )
+        results[label] = result.simulated_ms(device)
+        series.add(label, results[label])
+    transfer_bound = MODEL_N * 4 / device.pcie_bandwidth * 1e3
+    series.add("pcie-lower-bound", transfer_bound)
+    record_figure(benchmark, figure)
+
+    assert results["overlapped"] < results["serial"]
+    # Overlap hides compute almost entirely behind the transfers.
+    assert results["overlapped"] < transfer_bound * 1.25
+    # The plan reports near-ideal pipeline efficiency.
+    plan = ChunkedTopK(device).plan(MODEL_N, 64, np.dtype(np.float32))
+    assert plan.overlap_efficiency > 0.8
+
+    benchmark(lambda: chunked_topk(data, 64, memory_budget_bytes=1 << 20))

@@ -1,0 +1,37 @@
+"""Section 4.3 ablation: the optimization ladder for top-32 on 2^29 floats.
+
+Paper progression: 521 ms (naive) -> 122 (shared memory) -> 48.15 (kernel
+fusion) -> 33.7 (combined steps) -> 22.3 (padding) -> 17.8 (B = 16) ->
+16 (chunk permutation) -> 15.4 ms (partition reassignment).
+
+We assert the reproduction's ladder is monotone and within 2x of the paper
+at every rung, and that the fully optimized configuration improves over
+naive by more than an order of magnitude.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_43
+from repro.bench.report import record_figure
+from repro.bitonic.optimizations import ABLATION_LADDER
+from repro.bitonic.topk import BitonicTopK
+from repro.data.distributions import uniform_floats
+
+
+def test_ablation(benchmark, functional_n):
+    figure = ablation_43()
+    record_figure(benchmark, figure)
+
+    model = figure.series_by_name("model").points
+    paper = figure.series_by_name("paper").points
+    names = list(model)
+
+    values = [model[name] for name in names]
+    assert values == sorted(values, reverse=True)
+    for name in names:
+        assert model[name] == pytest.approx(paper[name], rel=1.0), name
+    assert model[names[0]] / model[names[-1]] > 10
+
+    data = uniform_floats(functional_n)
+    flags = ABLATION_LADDER[-1][1]
+    benchmark(lambda: BitonicTopK(flags=flags).run(data, 32))

@@ -1,0 +1,49 @@
+"""Ablation: hardware what-if — where the crossover moves.
+
+Section 7's motivation is portability: "to predict the performance on
+different hardware".  We sweep the shared-to-global bandwidth ratio around
+the Titan X's ~11.6 and tabulate every registered device profile's planner
+choices.  Bitonic's shared-bound kernels mean relatively faster shared
+memory (the Maxwell -> Volta trend) widens its winning range.
+"""
+
+from repro.bench.report import Figure, record_figure
+from repro.costmodel.whatif import crossover_vs_bandwidth_ratio, sweep_devices
+from repro.core.planner import TopKPlanner
+from repro.gpu.device import get_device
+
+RATIOS = (1.0, 3.0, 6.0, 11.6, 15.3, 24.0)
+
+
+def test_hardware_whatif(benchmark):
+    figure = Figure(
+        "ablX-whatif",
+        "Bitonic/radix-select crossover vs shared:global bandwidth ratio",
+        "B_S / B_G",
+        "crossover k (uniform floats, n = 2^29)",
+        paper_expectation=(
+            "Faster shared memory relative to global widens bitonic's "
+            "winning range (Section 7's portability argument)."
+        ),
+    )
+    series = figure.add_series("crossover-k")
+    points = crossover_vs_bandwidth_ratio(list(RATIOS))
+    ceiling = 8192
+    for point in points:
+        series.add(
+            point.shared_to_global_ratio,
+            float(point.crossover_k if point.crossover_k is not None else ceiling),
+        )
+    choices = figure.add_series("v100-choice-at-k256")
+    table = sweep_devices(ks=(256,))
+    for device_name, per_k in table.items():
+        choices.add(device_name, 1.0 if per_k[256] == "bitonic" else 0.0)
+    record_figure(benchmark, figure)
+
+    crossovers = [series.points[r] for r in RATIOS]
+    assert crossovers == sorted(crossovers)
+    assert crossovers[0] < crossovers[-1]
+    # Every registered device picks bitonic in the mid range.
+    assert all(value == 1.0 for value in choices.points.values())
+
+    benchmark(lambda: TopKPlanner(get_device()).choose(1 << 29, 256))

@@ -1,0 +1,31 @@
+"""Figure 8: varying the number of elements per thread (B).
+
+Paper: performance improves up to B = 16; there is virtually no benefit
+from 16 to 32 (deeper combined windows just double bank conflicts); B = 64
+is a detriment because register/shared pressure forces occupancy down.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_08
+from repro.bench.report import record_figure
+from repro.bitonic.optimizations import FULL
+from repro.bitonic.topk import BitonicTopK
+from repro.data.distributions import uniform_floats
+
+
+def test_fig08(benchmark, functional_n):
+    figure = figure_08()
+    record_figure(benchmark, figure)
+
+    points = figure.series_by_name("bitonic").points
+    # Monotone improvement up to 16.
+    assert points[2] > points[4] > points[8] > points[16]
+    # Flat from 16 to 32.
+    assert points[32] == pytest.approx(points[16], rel=0.1)
+    # Detriment at 64.
+    assert points[64] > 1.3 * points[16]
+
+    data = uniform_floats(functional_n)
+    algorithm = BitonicTopK(flags=FULL.with_elements_per_thread(16))
+    benchmark(lambda: algorithm.run(data, 32))

@@ -1,0 +1,36 @@
+"""Figure 11a: performance with varying K — 2^29 uniform floats.
+
+Paper: bitonic wins for k <= 256; radix select wins beyond; Sort is flat
+around 100 ms; the per-thread heap rises steeply from k = 32 and fails for
+k > 256; bucket select trails radix select.
+"""
+
+from repro.bench.figures import figure_11a
+from repro.bench.report import record_figure
+from repro.bitonic.topk import BitonicTopK
+from repro.data.distributions import uniform_floats
+
+
+def test_fig11a(benchmark, functional_n):
+    figure = figure_11a(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    sort = figure.series_by_name("sort").points
+    bitonic = figure.series_by_name("bitonic").points
+    radix = figure.series_by_name("radix-select").points
+    per_thread = figure.series_by_name("per-thread").points
+    bandwidth = figure.series_by_name("memory-bandwidth").points
+
+    # Who wins, and by roughly what factor.
+    assert bitonic[32] < radix[32] / 2
+    assert bitonic[256] < radix[256]
+    assert sort[32] > 10 * bandwidth[32]
+    assert sort[256] > 4 * bitonic[256]
+    # Per-thread: steep slope past 32, hard failure past 256.
+    assert per_thread[256] > 3 * per_thread[32]
+    assert 512 not in per_thread
+    # Sort is flat across k.
+    assert max(sort.values()) / min(sort.values()) < 1.05
+
+    data = uniform_floats(functional_n)
+    benchmark(lambda: BitonicTopK().run(data, 32))

@@ -1,0 +1,31 @@
+"""Figure 11b: performance with varying K — 2^29 uniform uint32 keys.
+
+Paper: identical to 11a for every method except radix select, which
+improves because uniformly distributed integer keys give the maximal 256x
+reduction per 8-bit pass; the bitonic/radix crossover moves down to the
+low hundreds.
+"""
+
+from repro.bench.figures import figure_11a, figure_11b
+from repro.bench.report import record_figure
+from repro.algorithms.radix_select import RadixSelectTopK
+from repro.data.distributions import uniform_uints
+
+
+def test_fig11b(benchmark, functional_n):
+    figure = figure_11b(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    radix = figure.series_by_name("radix-select").points
+    bitonic = figure.series_by_name("bitonic").points
+    floats = figure_11a(functional_n=functional_n)
+    radix_floats = floats.series_by_name("radix-select").points
+
+    # Radix select improves on uints relative to floats.
+    assert radix[64] < radix_floats[64] * 0.7
+    # The crossover: radix select overtakes bitonic by k = 512.
+    assert bitonic[32] < radix[32]
+    assert radix[512] < bitonic[512]
+
+    data = uniform_uints(functional_n)
+    benchmark(lambda: RadixSelectTopK().run(data, 64))

@@ -1,0 +1,35 @@
+"""Figure 11c: performance with varying K — 2^28 uniform doubles.
+
+Same total bytes as Figure 11a but 8-byte keys.  Paper: Sort doubles its
+passes (8 instead of 4); the per-thread heap fails past k = 128 (twice the
+shared memory per key); bitonic is largely unchanged because its cost is
+dominated by the total bytes moved.
+"""
+
+from repro.bench.figures import figure_11a, figure_11c
+from repro.bench.report import record_figure
+from repro.algorithms.radix_sort import SortTopK
+from repro.data.distributions import uniform_doubles
+
+
+def test_fig11c(benchmark, functional_n):
+    figure = figure_11c(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    floats = figure_11a(functional_n=functional_n)
+    sort_doubles = figure.series_by_name("sort").points
+    sort_floats = floats.series_by_name("sort").points
+    bitonic_doubles = figure.series_by_name("bitonic").points
+    bitonic_floats = floats.series_by_name("bitonic").points
+    per_thread = figure.series_by_name("per-thread").points
+
+    # Sort: same bytes, twice the passes -> about 2x.
+    assert 1.6 < sort_doubles[64] / sort_floats[64] < 2.4
+    # Per-thread fails earlier: k = 128 works, k = 256 does not.
+    assert 128 in per_thread
+    assert 256 not in per_thread
+    # Bitonic: roughly unchanged (same bytes through the kernels).
+    assert 0.7 < bitonic_doubles[64] / bitonic_floats[64] < 1.5
+
+    data = uniform_doubles(functional_n // 2)
+    benchmark(lambda: SortTopK().run(data, 64))

@@ -1,0 +1,31 @@
+"""Figure 12a: sorted-increasing input distribution.
+
+Paper: the per-thread heap degrades up to 3x because every element beats
+the heap minimum and triggers an update; Sort and bitonic perform exactly
+the same operations as on uniform data and are unchanged.
+"""
+
+from repro.bench.figures import figure_11a, figure_12a
+from repro.bench.report import record_figure
+from repro.algorithms.per_thread import PerThreadTopK
+from repro.data.distributions import increasing
+
+
+def test_fig12a(benchmark, functional_n):
+    figure = figure_12a(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    uniform = figure_11a(functional_n=functional_n)
+    per_thread = figure.series_by_name("per-thread").points
+    per_thread_uniform = uniform.series_by_name("per-thread").points
+    for k in (16, 32):
+        slowdown = per_thread[k] / per_thread_uniform[k]
+        assert 1.2 < slowdown < 4.0, k
+    # Sort and bitonic are distribution-blind.
+    for name in ("sort", "bitonic"):
+        adversarial = figure.series_by_name(name).points
+        baseline = uniform.series_by_name(name).points
+        assert abs(adversarial[64] - baseline[64]) / baseline[64] < 0.02, name
+
+    data = increasing(functional_n)
+    benchmark(lambda: PerThreadTopK().run(data, 32))

@@ -1,0 +1,36 @@
+"""Figure 12b: the bucket-killer adversarial distribution.
+
+Paper: radix select degrades to the cost of a full Sort (each pass
+eliminates a single element, so every pass reads and writes the whole
+dataset); bucket select suffers a ~2x slowdown; bitonic top-k performs
+precisely the same operations as always — there is no adversarial input
+for it.
+"""
+
+from repro.bench.figures import figure_11a, figure_12b
+from repro.bench.report import record_figure
+from repro.algorithms.radix_select import RadixSelectTopK
+from repro.data.distributions import bucket_killer
+
+
+def test_fig12b(benchmark, functional_n):
+    figure = figure_12b(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    uniform = figure_11a(functional_n=functional_n)
+    radix = figure.series_by_name("radix-select").points
+    sort = figure.series_by_name("sort").points
+    bucket = figure.series_by_name("bucket-select").points
+    bucket_uniform = uniform.series_by_name("bucket-select").points
+    bitonic = figure.series_by_name("bitonic").points
+    bitonic_uniform = uniform.series_by_name("bitonic").points
+
+    # Radix select collapses to Sort.
+    assert radix[64] > 0.9 * sort[64]
+    # Bucket select: a 2-4x slowdown.
+    assert 1.5 < bucket[64] / bucket_uniform[64] < 4.0
+    # Bitonic: bit-for-bit identical cost.
+    assert bitonic[64] == bitonic_uniform[64]
+
+    data = bucket_killer(functional_n)
+    benchmark(lambda: RadixSelectTopK().run(data, 64))

@@ -1,0 +1,34 @@
+"""Figure 13: performance with varying data size (k = 64, uniform floats).
+
+Paper: bitonic and Sort grow linearly with n; radix and bucket select also
+become linear at large n but flatten below ~2^24 where constant per-pass
+costs (prefix sums, kernel launches) dominate; the per-thread heap shows an
+outward bulge at small n where its fixed thread count is underutilized.
+"""
+
+from repro.bench.figures import figure_13
+from repro.bench.report import record_figure
+from repro.bitonic.topk import BitonicTopK
+from repro.data.distributions import uniform_floats
+
+
+def test_fig13(benchmark, functional_n):
+    figure = figure_13()
+    record_figure(benchmark, figure)
+
+    bitonic = figure.series_by_name("bitonic").points
+    sort = figure.series_by_name("sort").points
+    radix = figure.series_by_name("radix-select").points
+
+    # Linear growth at large n: doubling n doubles the time.
+    assert bitonic["2^29"] / bitonic["2^28"] == 2.0 or (
+        1.8 < bitonic["2^29"] / bitonic["2^28"] < 2.2
+    )
+    assert 1.8 < sort["2^29"] / sort["2^28"] < 2.2
+    # Sub-linear scaling at the small end (fixed costs dominate).
+    assert radix["2^22"] / radix["2^21"] < 1.8
+    # Ordering holds at full scale.
+    assert bitonic["2^29"] < radix["2^29"] < sort["2^29"]
+
+    data = uniform_floats(functional_n)
+    benchmark(lambda: BitonicTopK().run(data, 64))

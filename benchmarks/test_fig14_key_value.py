@@ -1,0 +1,35 @@
+"""Figure 14: key+value tuple configurations (KV, KKV, KKKV) at n = 2^28.
+
+Paper: both radix select and bitonic rise linearly in the row width as key
+columns are added; the cutoff point between them stays at the same k.
+"""
+
+import numpy as np
+
+from repro.bench.figures import figure_14
+from repro.bench.report import record_figure
+from repro.bitonic.topk import BitonicTopK
+from repro.data.records import make_batch
+
+
+def test_fig14(benchmark, functional_n):
+    figure = figure_14(functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    bitonic_kv = figure.series_by_name("bitonic-KV").points
+    bitonic_kkkv = figure.series_by_name("bitonic-KKKV").points
+    radix_kv = figure.series_by_name("radix-select-KV").points
+    radix_kkkv = figure.series_by_name("radix-select-KKKV").points
+
+    # Linear growth with row width: KV is 8 B/row, KKKV is 16 B/row.
+    assert 1.7 < bitonic_kkkv[64] / bitonic_kv[64] < 2.3
+    assert 1.7 < radix_kkkv[64] / radix_kv[64] < 2.3
+    # Bitonic wins at small k for every configuration.
+    for label in ("KV", "KKV", "KKKV"):
+        bitonic_series = figure.series_by_name(f"bitonic-{label}").points
+        radix_series = figure.series_by_name(f"radix-select-{label}").points
+        assert bitonic_series[32] < radix_series[32]
+
+    batch = make_batch(functional_n, num_keys=2)
+    rank = batch.composite_rank().astype(np.float32)
+    benchmark(lambda: BitonicTopK().run(rank, 64))

@@ -1,0 +1,33 @@
+"""Figure 15b: CPU vs GPU top-k on 2^29 sorted-ascending floats.
+
+Paper: every element triggers a heap pop/insert — close to the CPU worst
+case.  GPU bitonic is 60x faster than the hand-optimized PQ and 120x
+faster than the STL PQ at k = 32; CPU bitonic lands close to the Hand PQ
+despite doing more comparisons, thanks to SIMD.
+"""
+
+from repro.bench.figures import figure_15
+from repro.bench.report import record_figure
+from repro.cpu.bitonic_cpu import CpuBitonicTopK
+from repro.data.distributions import increasing
+
+
+def test_fig15b(benchmark, functional_n):
+    figure = figure_15(sorted_input=True, functional_n=functional_n)
+    record_figure(benchmark, figure)
+
+    gpu = figure.series_by_name("bitonic").points
+    hand = figure.series_by_name("cpu-hand-pq").points
+    stl = figure.series_by_name("cpu-stl-pq").points
+    cpu_bitonic = figure.series_by_name("cpu-bitonic").points
+
+    # The headline ratios at k = 32 (paper: 60x and 120x).
+    assert 40 < hand[32] / gpu[32] < 120
+    assert 80 < stl[32] / gpu[32] < 250
+    # STL is about twice the hand-optimized PQ (pop+push vs replace).
+    assert 1.7 < stl[32] / hand[32] < 2.3
+    # CPU bitonic tracks the Hand PQ (SIMD compensates).
+    assert 0.5 < cpu_bitonic[32] / hand[32] < 2.0
+
+    data = increasing(functional_n)
+    benchmark(lambda: CpuBitonicTopK().run(data, 32))

@@ -1,0 +1,42 @@
+"""Figure 16a: MapD query 1 — time-range filter + top-50, selectivity sweep.
+
+    SELECT id FROM tweets WHERE tweet_time < X
+    ORDER BY retweet_count DESC LIMIT 50
+
+Paper: bitonic-top-k-based plans beat the default Filter+Sort everywhere;
+fusing the filter into the SortReducer (Combined) additionally saves the
+write + read of the filtered (id, retweet_count) pairs — about 30% of
+kernel time at selectivity 1.
+"""
+
+from repro.bench.figures import figure_16a
+from repro.bench.report import record_figure
+from repro.engine.session import Session
+from repro.engine.twitter import generate_tweets, time_threshold_for_selectivity
+
+
+def test_fig16a(benchmark, functional_n):
+    figure = figure_16a(functional_rows=functional_n)
+    record_figure(benchmark, figure)
+
+    sort = figure.series_by_name("Filter+Sort").points
+    topk = figure.series_by_name("Filter+BitonicTopK").points
+    combined = figure.series_by_name("Combined").points
+
+    for selectivity in (0.5, 1.0):
+        assert combined[selectivity] < topk[selectivity] < sort[selectivity]
+    # Fusion saving at selectivity 1 (paper: ~30% of kernel time).
+    saving = 1 - combined[1.0] / topk[1.0]
+    assert 0.2 < saving < 0.7
+    # Sort grows with selectivity; Combined stays nearly flat.
+    assert sort[1.0] > 2 * sort[0.1]
+    assert combined[1.0] < 1.5 * combined[0.1]
+
+    session = Session()
+    session.register(generate_tweets(functional_n))
+    threshold = time_threshold_for_selectivity(0.5)
+    sql = (
+        f"SELECT id FROM tweets WHERE tweet_time < {threshold} "
+        "ORDER BY retweet_count DESC LIMIT 50"
+    )
+    benchmark(lambda: session.sql(sql, strategy="fused"))

@@ -1,0 +1,38 @@
+"""Section 6.8 query 3: language filter at ~80% selectivity, varying K.
+
+    SELECT id FROM tweets WHERE lang='en' OR lang='es'
+    ORDER BY retweet_count DESC LIMIT K
+
+Paper: the same trend as query 1 at a fixed selectivity around 0.8 — the
+combined kernel saves the round trip of the filtered (id, retweet_count)
+entries (~16 ms at 250M rows) across all K.
+"""
+
+from repro.bench.figures import query_3
+from repro.bench.report import record_figure
+from repro.engine.session import Session
+from repro.engine.twitter import generate_tweets
+
+
+def test_q3(benchmark, functional_n):
+    figure = query_3(functional_rows=functional_n)
+    record_figure(benchmark, figure)
+
+    sort = figure.series_by_name("Filter+Sort").points
+    topk = figure.series_by_name("Filter+BitonicTopK").points
+    combined = figure.series_by_name("Combined").points
+
+    for k in (16, 64, 256):
+        assert combined[k] < topk[k] < sort[k]
+    # A roughly constant fusion saving across K.
+    savings = [topk[k] - combined[k] for k in (16, 64, 256)]
+    assert max(savings) - min(savings) < 8
+    assert all(saving > 5 for saving in savings)
+
+    session = Session()
+    session.register(generate_tweets(functional_n))
+    sql = (
+        "SELECT id FROM tweets WHERE lang = 'en' OR lang = 'es' "
+        "ORDER BY retweet_count DESC LIMIT 64"
+    )
+    benchmark(lambda: session.sql(sql, strategy="fused"))

@@ -1,0 +1,73 @@
+"""Robustness against input distributions (Section 6.4).
+
+Selection-based algorithms have identifiable worst-case inputs: sorted
+data forces a heap update on every element of the per-thread method, and
+the "bucket killer" makes every radix pass eliminate a single element.
+Bitonic top-k executes a data-independent comparison network, so its cost
+is identical on every distribution.  This example measures all algorithms
+across the distributions and prints the slowdown factors.
+
+Run with::
+
+    python examples/adversarial_robustness.py
+"""
+
+from repro.algorithms.registry import EVALUATED_ALGORITHMS, create
+from repro.data.distributions import (
+    bucket_killer,
+    decreasing,
+    increasing,
+    uniform_floats,
+)
+from repro.gpu.device import get_device
+
+FUNCTIONAL_N = 1 << 18
+MODEL_N = 1 << 29
+K = 64
+
+DISTRIBUTIONS = {
+    "uniform": uniform_floats,
+    "increasing": increasing,
+    "decreasing": decreasing,
+    "bucket-killer": bucket_killer,
+}
+
+
+def main() -> None:
+    device = get_device()
+    print(
+        f"simulated ms on {device.name}, n = 2^29 floats, k = {K} "
+        f"(functional runs at n = 2^{FUNCTIONAL_N.bit_length() - 1})\n"
+    )
+    header = f"{'algorithm':>14} " + " ".join(
+        f"{name:>14}" for name in DISTRIBUTIONS
+    )
+    print(header)
+    baseline = {}
+    for algorithm_name in EVALUATED_ALGORITHMS:
+        algorithm = create(algorithm_name, device)
+        row = [f"{algorithm_name:>14}"]
+        for distribution_name, generator in DISTRIBUTIONS.items():
+            data = generator(FUNCTIONAL_N, seed=1)
+            if not algorithm.supports(MODEL_N, K, data.dtype):
+                row.append(f"{'n/a':>14}")
+                continue
+            result = algorithm.run(data, K, model_n=MODEL_N)
+            milliseconds = result.simulated_ms(device)
+            baseline.setdefault(algorithm_name, milliseconds)
+            slowdown = milliseconds / baseline[algorithm_name]
+            row.append(f"{milliseconds:>9.1f}x{slowdown:4.1f}")
+        print(" ".join(row))
+
+    print(
+        "\n(each cell: simulated ms, and slowdown vs that algorithm's "
+        "uniform case)\n"
+        "Takeaways: sort and bitonic are flat across distributions; "
+        "per-thread suffers on increasing input; radix select collapses "
+        "to sort's cost on the bucket killer; bitonic has no adversarial "
+        "input."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Cost-model-driven algorithm selection — the paper's query-planner use case.
+
+Section 7 closes with the argument that accurate cost models let a query
+planner choose the right top-k implementation per query.  This example
+sweeps k, shows the planner's ranking, locates the bitonic/radix-select
+crossover, and asks the what-if question the models make cheap: where does
+the crossover move on a newer GPU?
+
+Run with::
+
+    python examples/query_planner.py
+"""
+
+import numpy as np
+
+from repro import TopKPlanner, get_device
+from repro.costmodel import UNIFORM_FLOAT, UNIFORM_UINT
+
+N = 1 << 29
+
+
+def sweep(planner: TopKPlanner, dtype, profile, label: str) -> None:
+    print(f"--- {label} (n = 2^29) ---")
+    print(f"{'k':>6} {'choice':>14} {'predicted':>12}  ranking")
+    for exponent in range(0, 12):
+        k = 1 << exponent
+        choice = planner.choose(N, k, dtype, profile)
+        ranking = ", ".join(
+            f"{name}={seconds * 1e3:.1f}ms" for name, seconds in choice.candidates[:3]
+        )
+        print(
+            f"{k:>6} {choice.algorithm:>14} {choice.predicted_ms:>10.2f}ms  {ranking}"
+        )
+    crossover = planner.crossover_k(N, np.dtype(dtype), profile)
+    if crossover is None:
+        print("bitonic/radix-select crossover: none up to k = 2048")
+    else:
+        print(f"bitonic/radix-select crossover: k = {crossover}")
+    print()
+
+
+def main() -> None:
+    titan = get_device("titan-x-maxwell")
+    planner = TopKPlanner(titan)
+    sweep(planner, np.dtype(np.float32), UNIFORM_FLOAT, "uniform floats, Titan X")
+    sweep(planner, np.dtype(np.uint32), UNIFORM_UINT, "uniform uints, Titan X")
+
+    # What-if: the same models parameterized with a Volta-generation card.
+    volta_planner = TopKPlanner(get_device("v100"))
+    sweep(
+        volta_planner, np.dtype(np.float32), UNIFORM_FLOAT, "uniform floats, V100"
+    )
+
+
+if __name__ == "__main__":
+    main()

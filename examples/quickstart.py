@@ -1,0 +1,50 @@
+"""Quickstart: find the top-k elements of an array.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import bottomk, get_device, topk
+from repro.algorithms.registry import EVALUATED_ALGORITHMS
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    values = rng.random(1 << 20, dtype=np.float32)
+    k = 32
+
+    # The simplest call: the cost-model planner picks the algorithm.
+    result = topk(values, k)
+    print(f"top-{k} via {result.algorithm!r}:")
+    print(f"  largest value  : {result.values[0]:.6f}")
+    print(f"  k-th value     : {result.values[-1]:.6f}")
+    print(f"  row of largest : {result.indices[0]}")
+    print(f"  simulated time : {result.simulated_ms():.3f} ms "
+          f"(on {get_device().name}, at this input size)")
+    print()
+
+    # Every algorithm of the paper's evaluation is available by name and
+    # returns the same answer; they differ in simulated execution cost.
+    # model_n extrapolates the execution trace to the paper's 2^29 keys.
+    print(f"algorithm comparison at the paper's scale (n = 2^29, k = {k}):")
+    for name in EVALUATED_ALGORITHMS:
+        candidate = topk(values, k, algorithm=name, model_n=1 << 29)
+        agrees = np.array_equal(
+            np.sort(candidate.values), np.sort(result.values)
+        )
+        print(
+            f"  {name:>14}: {candidate.simulated_ms():8.2f} ms  "
+            f"(matches: {agrees})"
+        )
+    print()
+
+    # Bottom-k works the same way.
+    smallest = bottomk(values, 5)
+    print("bottom-5 values:", np.array2string(smallest.values, precision=6))
+
+
+if __name__ == "__main__":
+    main()

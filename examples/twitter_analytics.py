@@ -1,0 +1,81 @@
+"""Database integration: the four Section 6.8 queries on synthetic tweets.
+
+Builds the synthetic twitter table, runs each evaluation query under the
+three execution strategies (MapD-default Filter/Project+Sort, separate
+bitonic top-k kernel, and the Section 5 fused kernel), and prints the
+results next to the simulated kernel times at the paper's 250M-row scale.
+
+Run with::
+
+    python examples/twitter_analytics.py
+"""
+
+from repro.engine import Session, generate_tweets, time_threshold_for_selectivity
+
+MODEL_ROWS = 250_000_000
+STRATEGY_LABELS = {
+    "sort": "Filter/Project+Sort (MapD default)",
+    "topk": "+ bitonic top-k kernel",
+    "fused": "+ fusion into the SortReducer",
+}
+
+
+def run_query(session: Session, title: str, sql: str) -> None:
+    print(f"--- {title} ---")
+    print(f"    {sql.strip()}")
+    for strategy, label in STRATEGY_LABELS.items():
+        result = session.sql(sql, strategy=strategy, model_rows=MODEL_ROWS)
+        print(
+            f"  {label:<38} {result.simulated_ms():8.2f} ms "
+            f"({result.num_result_rows} rows)"
+        )
+    print()
+
+
+def main() -> None:
+    print("generating synthetic tweets (May 2017 corpus stand-in)...")
+    tweets = generate_tweets(1 << 18, seed=42)
+    session = Session()
+    session.register(tweets)
+    print(f"table 'tweets': {tweets.num_rows} rows, columns "
+          f"{tweets.column_names} (traces model {MODEL_ROWS:,} rows)\n")
+
+    threshold = time_threshold_for_selectivity(0.5)
+    run_query(
+        session,
+        "Q1: top-50 retweeted in a time range (selectivity 0.5)",
+        f"SELECT id FROM tweets WHERE tweet_time < {threshold} "
+        "ORDER BY retweet_count DESC LIMIT 50",
+    )
+    run_query(
+        session,
+        "Q2: most popular by custom ranking function",
+        "SELECT id FROM tweets "
+        "ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 50",
+    )
+    run_query(
+        session,
+        "Q3: top tweets in English or Spanish (selectivity ~0.8)",
+        "SELECT id FROM tweets WHERE lang = 'en' OR lang = 'es' "
+        "ORDER BY retweet_count DESC LIMIT 50",
+    )
+    run_query(
+        session,
+        "Q4: top-50 users by tweet count (GROUP BY)",
+        "SELECT uid, COUNT() AS num_tweets FROM tweets "
+        "GROUP BY uid ORDER BY num_tweets DESC LIMIT 50",
+    )
+
+    # Peek at the Q4 answer itself.
+    result = session.sql(
+        "SELECT uid, COUNT() AS num_tweets FROM tweets "
+        "GROUP BY uid ORDER BY num_tweets DESC LIMIT 5",
+        strategy="topk",
+    )
+    print("top-5 most active users:")
+    for uid, count in zip(result.column("uid"), result.column("num_tweets")):
+        print(f"  uid {uid:>8}: {count} tweets")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Efficient Top-K Query Processing on Massively
+Parallel Hardware" (Shanbhag, Pirk, Madden; SIGMOD 2018).
+
+Quickstart::
+
+    import numpy as np
+    from repro import topk
+
+    values = np.random.default_rng(0).random(1 << 20, dtype=np.float32)
+    result = topk(values, k=32)
+    print(result.values, result.algorithm, result.simulated_ms())
+
+Package map
+-----------
+
+* :mod:`repro.core` — public ``topk`` API and the cost-model planner.
+* :mod:`repro.bitonic` — bitonic top-k, the paper's contribution.
+* :mod:`repro.algorithms` — the baseline algorithms (sort, per-thread
+  heaps, radix select, bucket select).
+* :mod:`repro.cpu` — CPU baselines (STL-style and hand-optimized priority
+  queues, CPU bitonic top-k).
+* :mod:`repro.gpu` — the simulated GPU substrate (devices, bank conflicts,
+  occupancy, timing, micro SIMT executor).
+* :mod:`repro.costmodel` — the Section 7 predictive cost models.
+* :mod:`repro.engine` — a small columnar query engine with fused top-k
+  operators (the MapD integration study).
+* :mod:`repro.data` — workload generators.
+* :mod:`repro.bench` — the benchmark harness regenerating every figure.
+"""
+
+from repro.algorithms.base import TopKResult, reference_topk
+from repro.core.batched import batched_topk
+from repro.core.chunked import chunked_topk
+from repro.core.filtered import percentile, topk_where
+from repro.core.planner import PlanChoice, TopKPlanner
+from repro.core.topk import bottomk, topk
+from repro.hybrid.adaptive import AdaptiveTopK
+from repro.hybrid.cpu_gpu import HybridTopK
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    ResourceExhaustedError,
+    SimulationError,
+    UnsupportedQueryError,
+)
+from repro.gpu.device import DeviceSpec, get_device, list_devices
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TopKResult",
+    "reference_topk",
+    "PlanChoice",
+    "TopKPlanner",
+    "bottomk",
+    "topk",
+    "batched_topk",
+    "chunked_topk",
+    "percentile",
+    "topk_where",
+    "AdaptiveTopK",
+    "HybridTopK",
+    "InvalidParameterError",
+    "ReproError",
+    "ResourceExhaustedError",
+    "SimulationError",
+    "UnsupportedQueryError",
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""The top-k algorithms evaluated by the paper (Section 3 / Section 6).
+
+Five GPU methods — Sort-and-Choose, per-thread heaps (plus the Appendix A
+register variant), radix select, bucket select, and bitonic top-k (in
+:mod:`repro.bitonic`) — behind a common :class:`TopKAlgorithm` interface.
+"""
+
+from repro.algorithms.base import (
+    SUPPORTED_DTYPES,
+    TopKAlgorithm,
+    TopKResult,
+    reference_topk,
+    validate_topk_args,
+)
+from repro.algorithms.bucket_select import BucketSelectTopK
+from repro.algorithms.per_thread import PerThreadTopK, lockstep_topk
+from repro.algorithms.per_thread_registers import PerThreadRegisterTopK
+from repro.algorithms.radix_select import RadixSelectTopK
+from repro.algorithms.radix_sort import SortTopK, radix_sort
+from repro.algorithms.registry import (
+    EVALUATED_ALGORITHMS,
+    create,
+    list_algorithms,
+    register,
+)
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "TopKAlgorithm",
+    "TopKResult",
+    "reference_topk",
+    "validate_topk_args",
+    "BucketSelectTopK",
+    "PerThreadTopK",
+    "lockstep_topk",
+    "PerThreadRegisterTopK",
+    "RadixSelectTopK",
+    "SortTopK",
+    "radix_sort",
+    "EVALUATED_ALGORITHMS",
+    "create",
+    "list_algorithms",
+    "register",
+]

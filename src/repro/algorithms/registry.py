@@ -1,0 +1,76 @@
+"""Algorithm registry: the five GPU top-k methods of the evaluation.
+
+Maps the names used throughout the benchmarks and the public API to
+algorithm factories.  The registry is extensible so downstream users can
+plug their own implementations into the planner and bench harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.algorithms.bucket_select import BucketSelectTopK
+from repro.algorithms.per_thread import PerThreadTopK
+from repro.algorithms.per_thread_registers import PerThreadRegisterTopK
+from repro.algorithms.radix_select import RadixSelectTopK
+from repro.algorithms.radix_sort import SortTopK
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec
+
+AlgorithmFactory = Callable[[DeviceSpec | None], TopKAlgorithm]
+
+
+def _bitonic_factory(device: DeviceSpec | None) -> TopKAlgorithm:
+    # Imported lazily to avoid a circular import at package load time.
+    from repro.bitonic.topk import BitonicTopK
+
+    return BitonicTopK(device)
+
+
+def _bitonic_sort_factory(device: DeviceSpec | None) -> TopKAlgorithm:
+    from repro.bitonic.sort import BitonicSortTopK
+
+    return BitonicSortTopK(device)
+
+
+_REGISTRY: dict[str, AlgorithmFactory] = {
+    "sort": SortTopK,
+    "per-thread": PerThreadTopK,
+    "per-thread-registers": PerThreadRegisterTopK,
+    "radix-select": RadixSelectTopK,
+    "bucket-select": BucketSelectTopK,
+    "bitonic": _bitonic_factory,
+    "bitonic-sort": _bitonic_sort_factory,
+}
+
+#: The five algorithms compared in Section 6, in the paper's order.
+EVALUATED_ALGORITHMS = (
+    "sort",
+    "per-thread",
+    "radix-select",
+    "bucket-select",
+    "bitonic",
+)
+
+
+def create(name: str, device: DeviceSpec | None = None) -> TopKAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; available: {known}"
+        ) from None
+    return factory(device)
+
+
+def register(name: str, factory: AlgorithmFactory) -> None:
+    """Register a custom algorithm (overwrites an existing name)."""
+    _REGISTRY[name] = factory
+
+
+def list_algorithms() -> list[str]:
+    """Names of all registered algorithms."""
+    return sorted(_REGISTRY)

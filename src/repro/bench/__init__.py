@@ -1,0 +1,22 @@
+"""Benchmark harness: figure experiments and ASCII reporting."""
+
+from repro.bench.figures import (
+    DEFAULT_FUNCTIONAL_N,
+    K_SWEEP,
+    PAPER_N,
+    REGISTRY,
+    run_figure,
+)
+from repro.bench.report import Figure, Series, format_comparison, format_figure
+
+__all__ = [
+    "DEFAULT_FUNCTIONAL_N",
+    "K_SWEEP",
+    "PAPER_N",
+    "REGISTRY",
+    "run_figure",
+    "Figure",
+    "Series",
+    "format_comparison",
+    "format_figure",
+]

@@ -1,0 +1,63 @@
+"""Command-line figure runner.
+
+Regenerate any figure of the evaluation without pytest::
+
+    python -m repro.bench fig11a
+    python -m repro.bench abl43 fig17
+    python -m repro.bench --list
+    python -m repro.bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import REGISTRY
+from repro.bench.report import format_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate figures of the SIGMOD 2018 top-k evaluation.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids to run (e.g. fig11a abl43 q4)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids and exit"
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list:
+        for figure_id in REGISTRY:
+            print(figure_id)
+        return 0
+    requested = list(REGISTRY) if arguments.all else arguments.figures
+    if not requested:
+        build_parser().print_help()
+        return 2
+    unknown = [figure_id for figure_id in requested if figure_id not in REGISTRY]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)}; "
+            f"available: {', '.join(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    for figure_id in requested:
+        print(format_figure(REGISTRY[figure_id]()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

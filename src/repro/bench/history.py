@@ -1,0 +1,113 @@
+"""Benchmark result history: save figure series, compare across runs.
+
+Long-lived reproductions need regression tracking on the *simulated*
+numbers, not just pytest-benchmark's wall-clock: a change to the bank
+model or a kernel plan should surface as a delta on the affected figures.
+``save_figure`` serializes a figure's series to JSON; ``compare`` diffs two
+recordings and flags series points whose relative change exceeds a
+tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.report import Figure, Series
+from repro.errors import InvalidParameterError
+
+
+def figure_to_record(figure: Figure) -> dict:
+    """JSON-serializable representation of a figure."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "series": {
+            series.name: {str(x): y for x, y in series.points.items()}
+            for series in figure.series
+        },
+    }
+
+
+def record_to_figure(record: dict) -> Figure:
+    """Rebuild a figure from its JSON record (x values become strings)."""
+    figure = Figure(
+        record["figure_id"],
+        record["title"],
+        record["x_label"],
+        record["y_label"],
+    )
+    for name, points in record["series"].items():
+        series = figure.add_series(name)
+        for x, y in points.items():
+            series.add(x, y)
+    return figure
+
+
+def save_figure(figure: Figure, path: str | Path) -> None:
+    """Write a figure's series to a JSON file."""
+    Path(path).write_text(json.dumps(figure_to_record(figure), indent=2))
+
+
+def load_figure(path: str | Path) -> Figure:
+    """Load a previously saved figure."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise InvalidParameterError(f"cannot load figure from {path}: {error}")
+    return record_to_figure(record)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One point whose value moved more than the tolerance."""
+
+    series: str
+    x: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf")
+        return self.after / self.before
+
+    def __str__(self) -> str:
+        return (
+            f"{self.series}[{self.x}]: {self.before:.3f} -> {self.after:.3f} "
+            f"(x{self.ratio:.2f})"
+        )
+
+
+def compare(
+    baseline: Figure, current: Figure, tolerance: float = 0.05
+) -> list[Regression]:
+    """Points whose relative change exceeds ``tolerance``.
+
+    Missing series/points are ignored (new experiments are not
+    regressions); only overlapping points are compared.
+    """
+    if tolerance < 0:
+        raise InvalidParameterError("tolerance must be non-negative")
+    regressions: list[Regression] = []
+    baseline_series = {series.name: series for series in baseline.series}
+    for series in current.series:
+        before_series = baseline_series.get(series.name)
+        if before_series is None:
+            continue
+        before_points = {str(x): y for x, y in before_series.points.items()}
+        for x, after in series.points.items():
+            before = before_points.get(str(x))
+            if before is None:
+                continue
+            scale = max(abs(before), 1e-12)
+            if abs(after - before) / scale > tolerance:
+                regressions.append(
+                    Regression(series=series.name, x=str(x), before=before,
+                               after=after)
+                )
+    return regressions

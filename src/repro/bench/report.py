@@ -1,0 +1,106 @@
+"""ASCII reporting for benchmark results.
+
+The harness prints each figure as an aligned table: one row per x value
+(k, data size, selectivity, ...) and one column per algorithm/strategy,
+so the console output reads like the paper's figures in tabular form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One line of a figure: y values indexed by x."""
+
+    name: str
+    points: dict[object, float] = field(default_factory=dict)
+
+    def add(self, x: object, y: float) -> None:
+        self.points[x] = y
+
+    def xs(self) -> list[object]:
+        return list(self.points)
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: title, axis, series, and commentary."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_expectation: str = ""
+
+    def series_by_name(self, name: str) -> Series:
+        for candidate in self.series:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"figure {self.figure_id} has no series {name!r}")
+
+    def add_series(self, name: str) -> Series:
+        series = Series(name)
+        self.series.append(series)
+        return series
+
+    def all_xs(self) -> list[object]:
+        seen: dict[object, None] = {}
+        for series in self.series:
+            for x in series.points:
+                seen.setdefault(x)
+        return list(seen)
+
+
+def format_figure(figure: Figure, float_format: str = "{:10.3f}") -> str:
+    """Render a figure as an aligned ASCII table."""
+    xs = figure.all_xs()
+    name_width = max(12, max((len(s.name) for s in figure.series), default=12))
+    header = [f"{figure.x_label:>12}"] + [
+        f"{series.name:>{name_width}}" for series in figure.series
+    ]
+    lines = [
+        f"== {figure.figure_id}: {figure.title} ==",
+        f"   (y = {figure.y_label})",
+        " ".join(header),
+    ]
+    for x in xs:
+        row = [f"{str(x):>12}"]
+        for series in figure.series:
+            if x in series.points:
+                row.append(f"{float_format.format(series.points[x]):>{name_width}}")
+            else:
+                row.append(f"{'-':>{name_width}}")
+        lines.append(" ".join(row))
+    if figure.paper_expectation:
+        lines.append(f"paper: {figure.paper_expectation}")
+    for note in figure.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def record_figure(benchmark, figure: Figure) -> None:
+    """Print a reproduced figure and attach its series to a pytest-benchmark
+    record (via ``extra_info``), so ``--benchmark-json`` exports carry the
+    simulated series alongside the wall-clock numbers."""
+    print()
+    print(format_figure(figure))
+    benchmark.extra_info["figure"] = figure.figure_id
+    benchmark.extra_info["series"] = {
+        series.name: {str(x): y for x, y in series.points.items()}
+        for series in figure.series
+    }
+
+
+def format_comparison(
+    label: str, paper_value: float, measured_value: float, unit: str = "ms"
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md."""
+    ratio = measured_value / paper_value if paper_value else float("nan")
+    return (
+        f"{label}: paper {paper_value:.2f} {unit}, "
+        f"measured {measured_value:.2f} {unit} (x{ratio:.2f})"
+    )

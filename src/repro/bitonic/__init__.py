@@ -1,0 +1,49 @@
+"""Bitonic top-k — the paper's primary contribution.
+
+The three operators (local sort / merge / rebuild), the fused
+SortReducer/BitonicReducer kernel cost model, the Section 4.3 optimization
+ladder, and the CPU adaptation of Appendix C.
+"""
+
+from repro.bitonic.network import (
+    Step,
+    full_sort_steps,
+    local_sort_steps,
+    rebuild_steps,
+    topk_total_comparisons,
+)
+from repro.bitonic.operators import apply_step, local_sort, merge, rebuild, reduce_topk
+from repro.bitonic.optimizations import (
+    ABLATION_LADDER,
+    FULL,
+    NAIVE,
+    PAPER_LADDER_MS,
+    OptimizationFlags,
+)
+from repro.bitonic.plan import Round, plan_rounds
+from repro.bitonic.sort import BitonicSortTopK, bitonic_sort, kth_largest
+from repro.bitonic.topk import BitonicTopK
+
+__all__ = [
+    "Step",
+    "full_sort_steps",
+    "local_sort_steps",
+    "rebuild_steps",
+    "topk_total_comparisons",
+    "apply_step",
+    "local_sort",
+    "merge",
+    "rebuild",
+    "reduce_topk",
+    "ABLATION_LADDER",
+    "FULL",
+    "NAIVE",
+    "PAPER_LADDER_MS",
+    "OptimizationFlags",
+    "Round",
+    "BitonicSortTopK",
+    "bitonic_sort",
+    "kth_largest",
+    "plan_rounds",
+    "BitonicTopK",
+]

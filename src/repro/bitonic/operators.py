@@ -1,0 +1,145 @@
+"""Vectorized executors for the three bitonic top-k operators.
+
+These run the step sequences of :mod:`repro.bitonic.network` with numpy —
+one array operation per massively parallel step, which is the same dataflow
+the GPU executes (each element of the numpy expression corresponds to one
+thread's compare-exchange).
+
+Conventions (matching the paper's Algorithms 2-4):
+
+* a step compares ``L[i]`` with ``L[i + inc]``; index ``i`` enumerates the
+  lower partner of each pair;
+* ``reverse = ((direction_period & i) == 0)``; ``swap = reverse XOR
+  (L[i] < L[i + inc])``.  With ``reverse`` false the larger value moves to
+  the *lower* index (descending run), with ``reverse`` true to the higher
+  index (ascending run).  Local sort therefore produces runs alternating
+  ascending-then-descending, which is exactly what the merge needs;
+* the merge compares ``L[i]`` and ``L[i + k]`` for each pair of adjacent
+  length-k runs and keeps the maxima, compacted, which form a *bitonic*
+  sequence containing the top-k of the pair — the key insight of
+  Section 3.2.
+
+All operators optionally carry a payload array (row ids or values) through
+the same exchanges, supporting the key+value experiments of Section 6.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitonic.network import (
+    Step,
+    local_sort_steps,
+    rebuild_steps,
+    validate_power_of_two,
+)
+from repro.errors import InvalidParameterError
+
+
+def apply_step(
+    values: np.ndarray, step: Step, payload: np.ndarray | None = None
+) -> None:
+    """Apply one compare-exchange step in place."""
+    n = len(values)
+    if n % (2 * step.inc) != 0:
+        raise InvalidParameterError(
+            f"array length {n} is not a multiple of the step block {2 * step.inc}"
+        )
+    t = np.arange(n // 2)
+    low = t & (step.inc - 1)
+    i = (t << 1) - low
+    partner = i + step.inc
+    reverse = (i & step.direction_period) == 0
+    left = values[i]
+    right = values[partner]
+    swap = np.logical_xor(reverse, left < right)
+    new_left = np.where(swap, right, left)
+    new_right = np.where(swap, left, right)
+    values[i] = new_left
+    values[partner] = new_right
+    if payload is not None:
+        left_payload = payload[i]
+        right_payload = payload[partner]
+        payload[i] = np.where(swap, right_payload, left_payload)
+        payload[partner] = np.where(swap, left_payload, right_payload)
+
+
+def local_sort(
+    values: np.ndarray, k: int, payload: np.ndarray | None = None
+) -> None:
+    """Sort ``values`` in place into alternating runs of length ``k``."""
+    if len(values) % max(k, 2) != 0:
+        raise InvalidParameterError("array length must be a multiple of k")
+    for step in local_sort_steps(k):
+        apply_step(values, step, payload)
+
+
+def merge(
+    values: np.ndarray, k: int, payload: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Merge adjacent run pairs, keeping the larger half of each pair.
+
+    Input: alternating sorted runs of length k (2m runs).  Output: m
+    length-k *bitonic* sequences, each containing the top-k of its pair.
+    Returns new (values, payload) arrays of half the length.
+    """
+    validate_power_of_two(k, "k")
+    n = len(values)
+    if n % (2 * k) != 0:
+        raise InvalidParameterError(
+            f"array length {n} is not a multiple of a run pair (2k = {2 * k})"
+        )
+    pairs = values.reshape(-1, 2, k)
+    first = pairs[:, 0, :]
+    second = pairs[:, 1, :]
+    keep_first = first >= second
+    merged = np.where(keep_first, first, second).reshape(-1)
+    merged_payload = None
+    if payload is not None:
+        payload_pairs = payload.reshape(-1, 2, k)
+        merged_payload = np.where(
+            keep_first, payload_pairs[:, 0, :], payload_pairs[:, 1, :]
+        ).reshape(-1)
+    return merged, merged_payload
+
+
+def rebuild(
+    values: np.ndarray, k: int, payload: np.ndarray | None = None
+) -> None:
+    """Re-sort length-k bitonic sequences into alternating runs, in place."""
+    if len(values) % max(k, 2) != 0 and k > 1:
+        raise InvalidParameterError("array length must be a multiple of k")
+    for step in rebuild_steps(k):
+        apply_step(values, step, payload)
+
+
+def reduce_topk(
+    values: np.ndarray, k: int, payload: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The full operator pipeline: local sort, then merge+rebuild to k elements.
+
+    ``values`` is modified and consumed; the returned arrays hold the top-k
+    (sorted descending) and the corresponding payload entries.
+    """
+    validate_power_of_two(k, "k")
+    n = len(values)
+    validate_power_of_two(n, "n")
+    if k > n:
+        raise InvalidParameterError("k cannot exceed the (padded) input size")
+    if k == n:
+        order = np.argsort(values, kind="stable")[::-1]
+        return values[order], payload[order] if payload is not None else None
+    if k == 1:
+        # A run of length 1 is trivially sorted; the pipeline degenerates to
+        # a max reduction, which we express as repeated pairwise merges.
+        while len(values) > 1:
+            values, payload = merge(values, 1, payload)
+        return values, payload
+    local_sort(values, k, payload)
+    while len(values) > k:
+        values, payload = merge(values, k, payload)
+        if len(values) > k:
+            rebuild(values, k, payload)
+    # The final k survivors form one bitonic sequence; sort them descending.
+    order = np.argsort(values, kind="stable")[::-1]
+    return values[order], payload[order] if payload is not None else None

@@ -1,0 +1,155 @@
+"""Optimization switches for bitonic top-k (Section 4.3).
+
+Each flag corresponds to one optimization the paper introduces, in order.
+:data:`ABLATION_LADDER` lists the cumulative presets matching the paper's
+runtime progression for top-32 over 2^29 floats:
+
+    521 ms  -> 122 ms -> 48.15 ms -> 33.7 ms -> 22.3 ms -> 17.8 ms
+    -> 16 ms -> 15.4 ms
+
+(naive, +shared memory, +kernel fusion, +combined steps, +padding,
++16 elements per thread, +chunk permutation, +partition reassignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.bitonic.network import is_power_of_two
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which of the Section 4.3 optimizations are enabled.
+
+    * ``shared_memory`` — run each operator's steps in shared memory,
+      touching global memory once per operator instead of once per step.
+    * ``kernel_fusion`` — fuse local sort + merges + rebuilds into the
+      SortReducer / BitonicReducer kernels, eliminating intermediate global
+      traffic and launch overhead.
+    * ``combined_steps`` — have each thread keep ``elements_per_thread``
+      values in registers and execute several network steps per shared
+      read/write round.  Without padding, only step groups whose access
+      pattern stays near-conflict-free are combined.
+    * ``padding`` — pad the shared array (one word per bank row) to break
+      the chunk-access conflicts, enabling combining of every group and
+      larger ``elements_per_thread``.
+    * ``chunk_permutation`` — stagger/relocate per-thread chunks to remove
+      the conflicts that padding cannot (combined steps with comparison
+      distance above the chunk), per Figure 10.
+    * ``partition_reassignment`` — after each in-kernel merge halves the
+      live data, reassign it to half the threads so combined steps keep
+      their full depth.
+    * ``elements_per_thread`` — the B of Figure 8 (8 before padding,
+      16 at full optimization).
+    """
+
+    shared_memory: bool = True
+    kernel_fusion: bool = True
+    combined_steps: bool = True
+    padding: bool = True
+    chunk_permutation: bool = True
+    partition_reassignment: bool = True
+    elements_per_thread: int = 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.elements_per_thread):
+            raise InvalidParameterError("elements_per_thread must be a power of two")
+        if not 2 <= self.elements_per_thread <= 64:
+            raise InvalidParameterError(
+                "elements_per_thread must be between 2 and 64"
+            )
+        if self.kernel_fusion and not self.shared_memory:
+            raise InvalidParameterError(
+                "kernel fusion requires operating in shared memory"
+            )
+        if self.combined_steps and not self.kernel_fusion:
+            raise InvalidParameterError("combined steps require fused kernels")
+        if self.padding and not self.combined_steps:
+            raise InvalidParameterError(
+                "padding only matters once steps are combined"
+            )
+        if self.chunk_permutation and not self.padding:
+            raise InvalidParameterError(
+                "chunk permutation builds on the padded layout"
+            )
+
+    def with_elements_per_thread(self, elements: int) -> "OptimizationFlags":
+        """Copy with a different B (the Figure 8 sweep)."""
+        return replace(self, elements_per_thread=elements)
+
+
+#: All optimizations enabled — the configuration every evaluation figure uses.
+FULL = OptimizationFlags()
+
+#: The naive baseline: one kernel per network step, all traffic global.
+NAIVE = OptimizationFlags(
+    shared_memory=False,
+    kernel_fusion=False,
+    combined_steps=False,
+    padding=False,
+    chunk_permutation=False,
+    partition_reassignment=False,
+    elements_per_thread=2,
+)
+
+#: Cumulative presets of the Section 4.3 ablation, in paper order.
+ABLATION_LADDER: list[tuple[str, OptimizationFlags]] = [
+    ("naive", NAIVE),
+    (
+        "+shared memory",
+        OptimizationFlags(
+            shared_memory=True,
+            kernel_fusion=False,
+            combined_steps=False,
+            padding=False,
+            chunk_permutation=False,
+            partition_reassignment=False,
+            elements_per_thread=2,
+        ),
+    ),
+    (
+        "+kernel fusion",
+        OptimizationFlags(
+            combined_steps=False,
+            padding=False,
+            chunk_permutation=False,
+            partition_reassignment=False,
+            elements_per_thread=8,
+        ),
+    ),
+    (
+        "+combined steps",
+        OptimizationFlags(
+            padding=False,
+            chunk_permutation=False,
+            partition_reassignment=False,
+            elements_per_thread=8,
+        ),
+    ),
+    (
+        "+padding",
+        OptimizationFlags(
+            chunk_permutation=False,
+            partition_reassignment=False,
+            elements_per_thread=8,
+        ),
+    ),
+    (
+        "+B=16",
+        OptimizationFlags(
+            chunk_permutation=False,
+            partition_reassignment=False,
+            elements_per_thread=16,
+        ),
+    ),
+    (
+        "+chunk permutation",
+        OptimizationFlags(partition_reassignment=False, elements_per_thread=16),
+    ),
+    ("+partition reassignment", FULL),
+]
+
+#: Paper-reported runtimes (ms) for the ladder above (top-32, 2^29 floats).
+PAPER_LADDER_MS = [521.0, 122.0, 48.15, 33.7, 22.3, 17.8, 16.0, 15.4]

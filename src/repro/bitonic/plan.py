@@ -1,0 +1,150 @@
+"""Combined-step planner: group network steps into shared-memory rounds.
+
+A *round* is one shared-memory read/write cycle of a kernel: every live
+element is read from shared memory into registers, a group of network steps
+executes in registers, and the elements are written back.  Grouping more
+steps per round divides the shared traffic by the group size — the
+"Combining/Sequentializing Multiple Steps" optimization — at the price of
+bank conflicts, which padding and chunk permutation then address.
+
+The planner mirrors the engineering constraints the paper describes:
+
+* a round can cover at most ``log2(B)`` distinct comparison-distance bits,
+  because each thread must own both partners of every grouped comparison
+  within its B registers;
+* without padding, combining is only profitable for step groups whose
+  unpadded lockstep access pattern stays near conflict-free (contiguous
+  chunk groups would conflict B-way); the planner leaves other steps
+  uncombined, matching the intermediate ablation configuration;
+* padding lifts that restriction (contiguous groups become conflict-free),
+  so every step joins a group greedily;
+* chunk permutation replaces each group's delta with the best uniform
+  staggered schedule (1.0 for every shape arising at k <= 256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitonic.network import Step
+from repro.bitonic.optimizations import OptimizationFlags
+from repro.gpu.banks import (
+    ChunkShape,
+    chunk_conflict_factor,
+    single_step_conflict_factor,
+)
+
+
+
+@dataclass(frozen=True)
+class Round:
+    """One shared-memory round of a kernel."""
+
+    steps: tuple[Step, ...]
+    #: delta_i: bank-conflict serialization factor of the round's accesses.
+    conflict_factor: float
+    #: Words read + written per live element (2.0: one read, one write).
+    words_per_element: float = 2.0
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+def _group_shape(bits: set[int], capacity_bits: int) -> ChunkShape:
+    """Chunk shape for a group of distance bits, low-bit-filled to capacity.
+
+    The thread's registers must hold both partners of every grouped
+    comparison; spare register capacity is filled with the lowest free
+    index bits (giving contiguous sub-chunks, the layout the paper's
+    Figure 10 depicts for high-distance groups).
+    """
+    free = set(bits)
+    fill = 0
+    while len(free) < capacity_bits:
+        if fill not in free:
+            free.add(fill)
+        fill += 1
+    return ChunkShape(tuple(sorted(free)))
+
+
+def _round_for_group(
+    steps: list[Step], capacity_bits: int, flags: OptimizationFlags
+) -> Round:
+    bits = {step.distance_bit for step in steps}
+    shape = _group_shape(bits, capacity_bits)
+    factor = chunk_conflict_factor(
+        shape, padding=flags.padding, chunk_permutation=flags.chunk_permutation
+    )
+    return Round(steps=tuple(steps), conflict_factor=factor)
+
+
+def _single_round(step: Step) -> Round:
+    return Round(
+        steps=(step,),
+        conflict_factor=single_step_conflict_factor(step.inc),
+    )
+
+
+def plan_rounds(
+    steps: list[Step],
+    flags: OptimizationFlags,
+    elements_per_thread: int | None = None,
+) -> list[Round]:
+    """Group a step sequence into shared-memory rounds.
+
+    ``elements_per_thread`` overrides ``flags.elements_per_thread`` — the
+    kernels shrink it after in-kernel merges when partition reassignment is
+    off, which is exactly the effect that optimization removes.
+    """
+    if not steps:
+        return []
+    capacity = elements_per_thread or flags.elements_per_thread
+    # Windows deeper than 16 elements double bank conflicts instead of
+    # saving traffic (Section 4.3's finding behind fixing B = 16), so the
+    # round planner never groups more than 4 distance bits even when more
+    # registers are available.
+    capacity_bits = max(1, min(4, capacity.bit_length() - 1))
+    if not flags.combined_steps:
+        return [_single_round(step) for step in steps]
+
+    rounds: list[Round] = []
+    group: list[Step] = []
+    group_bits: set[int] = set()
+
+    def flush() -> None:
+        if not group:
+            return
+        candidate = _round_for_group(group, capacity_bits, flags)
+        if flags.padding:
+            rounds.append(candidate)
+        else:
+            # Unpadded: combine only when the conflict-weighted traffic of
+            # the combined round beats executing the steps one by one.
+            singles = [_single_round(step) for step in group]
+            combined_cost = candidate.words_per_element * candidate.conflict_factor
+            if combined_cost <= rounds_traffic_words(singles):
+                rounds.append(candidate)
+            else:
+                rounds.extend(singles)
+        group.clear()
+        group_bits.clear()
+
+    for step in steps:
+        bit = step.distance_bit
+        if group and len(group_bits | {bit}) > capacity_bits:
+            flush()
+        group.append(step)
+        group_bits.add(bit)
+    flush()
+    return rounds
+
+
+def rounds_traffic_words(rounds: list[Round]) -> float:
+    """Conflict-weighted shared words moved per live element."""
+    return sum(r.words_per_element * r.conflict_factor for r in rounds)
+
+
+def rounds_raw_words(rounds: list[Round]) -> float:
+    """Unweighted shared words moved per live element."""
+    return sum(r.words_per_element for r in rounds)

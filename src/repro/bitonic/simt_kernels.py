@@ -1,0 +1,146 @@
+"""Bitonic top-k as micro kernels for the SIMT executor.
+
+These are the thread-level programs the numpy operators vectorize: one
+simulated thread block loads a tile from global memory into shared memory,
+runs local sort, then alternates merge and rebuild fully inside shared
+memory until k elements remain, and writes them back — the single-block
+essence of the SortReducer pipeline.
+
+They exist for *validation*: tests execute them through
+:class:`repro.gpu.simt.ThreadBlock` (real data flow, every address audited)
+and check
+
+* functional agreement with :func:`repro.bitonic.operators.reduce_topk`
+  and the numpy sort oracle, and
+* that the measured shared-memory conflict factors and global transaction
+  counts agree with the analytical models feeding the cost model.
+
+Being Python-per-thread, they only run at micro scale (hundreds of
+elements); the production path stays vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.bitonic.network import Step, local_sort_steps, rebuild_steps
+from repro.errors import InvalidParameterError
+from repro.gpu.simt import ThreadContext
+
+
+def _compare_exchange(
+    ctx: ThreadContext, step: Step, live: int
+) -> Generator[None, None, None]:
+    """One network step over the first ``live`` shared-memory words."""
+    thread = ctx.thread_id
+    pairs = live // 2
+    if thread < pairs:
+        low = thread & (step.inc - 1)
+        i = (thread << 1) - low
+        partner = i + step.inc
+        left = ctx.shared_read(i)
+        right = ctx.shared_read(partner)
+        reverse = (i & step.direction_period) == 0
+        if reverse ^ (left < right):
+            left, right = right, left
+        ctx.shared_write(i, left)
+        ctx.shared_write(partner, right)
+    yield
+
+
+def _merge_compact(
+    ctx: ThreadContext, k: int, live: int
+) -> Generator[None, None, None]:
+    """Merge adjacent k-run pairs and compact survivors to the front.
+
+    Thread t handles survivor position t: it compares the two partners at
+    distance k within its run pair and writes the maximum to the compacted
+    location.  Two barriers keep the read and write phases apart (the
+    write targets overlap other threads' read sources).
+    """
+    thread = ctx.thread_id
+    survivors = live // 2
+    value = None
+    if thread < survivors:
+        pair_base = (thread // k) * 2 * k
+        offset = thread % k
+        left = ctx.shared_read(pair_base + offset)
+        right = ctx.shared_read(pair_base + offset + k)
+        value = max(left, right)
+    yield
+    if thread < survivors:
+        ctx.shared_write(thread, value)
+    yield
+
+
+def block_topk_kernel(ctx: ThreadContext, n: int, k: int) -> Generator[None, None, None]:
+    """Full single-block bitonic top-k over global memory.
+
+    Loads ``n`` elements (coalesced: thread t loads positions t, t + nt,
+    ...), reduces them to the top ``k`` in shared memory, and writes those
+    to global positions ``[n, n + k)`` (caller allocates the output region).
+    """
+    if n & (n - 1) or k & (k - 1):
+        raise InvalidParameterError("micro kernel needs power-of-two n and k")
+    thread = ctx.thread_id
+    block = ctx.block_size
+
+    # Coalesced load into shared memory.
+    for position in range(thread, n, block):
+        ctx.shared_write(position, ctx.global_read(position))
+    yield
+
+    for step in local_sort_steps(k):
+        yield from _compare_exchange(ctx, step, n)
+
+    live = n
+    while live > k:
+        yield from _merge_compact(ctx, k, live)
+        live //= 2
+        if live > k:
+            for step in rebuild_steps(k):
+                yield from _compare_exchange(ctx, step, live)
+
+    # Final cleanup: the k survivors form one bitonic sequence; rebuild
+    # sorts them (descending run first for k >= 2).
+    for step in rebuild_steps(k):
+        yield from _compare_exchange(ctx, step, k)
+
+    for position in range(thread, k, block):
+        ctx.global_write(n + position, ctx.shared_read(position))
+    yield
+
+
+def per_thread_heap_kernel(
+    ctx: ThreadContext, n: int, k: int
+) -> Generator[None, None, None]:
+    """Algorithm 1 as a micro kernel: a k-slot buffer per thread in shared.
+
+    Thread t owns shared words ``[t * k, (t + 1) * k)`` (a layout that
+    conflicts, which the audit should show — real kernels interleave) and
+    scans global positions t, t + nt, ...  Inserts replace the current
+    minimum.  Results land in global ``[n, n + nt * k)``.
+    """
+    thread = ctx.thread_id
+    block = ctx.block_size
+    base = thread * k
+
+    filled = 0
+    for position in range(thread, n, block):
+        value = ctx.global_read(position)
+        if filled < k:
+            ctx.shared_write(base + filled, value)
+            filled += 1
+            continue
+        minimum_slot = 0
+        minimum = ctx.shared_read(base)
+        for slot in range(1, k):
+            candidate = ctx.shared_read(base + slot)
+            if candidate < minimum:
+                minimum, minimum_slot = candidate, slot
+        if value > minimum:
+            ctx.shared_write(base + minimum_slot, value)
+    yield
+    for slot in range(filled):
+        ctx.global_write(n + thread + slot * block, ctx.shared_read(base + slot))
+    yield

@@ -1,0 +1,108 @@
+"""Bitonic top-k — the paper's contribution, as a :class:`TopKAlgorithm`.
+
+Functionally the algorithm pads the input to a power of two with sentinel
+minimum values, runs the local-sort / merge / rebuild reduction
+(:mod:`repro.bitonic.operators`), and returns the top-k values with their
+row indices.  The execution trace models the SortReducer / BitonicReducer
+kernel pipeline (:mod:`repro.bitonic.kernels`) under the configured
+optimization flags.
+
+The key robustness property of Section 6.4 falls out of the construction:
+the network's comparison sequence is data-independent, so the trace — and
+therefore the simulated runtime — is identical for every input
+distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
+from repro.bitonic.kernels import build_trace, memory_overhead_bytes
+from repro.bitonic.operators import reduce_topk
+from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec
+
+
+def _sentinel(dtype: np.dtype):
+    """The minimum representable value of a dtype, used to pad the input."""
+    if dtype.kind == "f":
+        return -np.inf
+    return np.iinfo(dtype).min
+
+
+def _next_power_of_two(value: int) -> int:
+    return 1 << max(0, (value - 1).bit_length())
+
+
+def _fix_sentinel_indices(
+    data: np.ndarray, values: np.ndarray, indices: np.ndarray, n: int
+) -> np.ndarray:
+    """Repair result indices that point at padding slots.
+
+    A padding sentinel can only reach the top-k when real elements share the
+    dtype's minimum value, in which case the returned *values* are already
+    correct and we only need to point the indices at unused real rows
+    holding that value.
+    """
+    broken = indices >= n
+    if not broken.any():
+        return indices
+    minimum = values[broken][0]
+    used = set(indices[~broken].tolist())
+    replacements = [
+        row for row in np.flatnonzero(data == minimum) if row not in used
+    ]
+    fixed = indices.copy()
+    fixed[np.flatnonzero(broken)] = replacements[: int(broken.sum())]
+    return fixed
+
+
+class BitonicTopK(TopKAlgorithm):
+    """The paper's bitonic top-k algorithm (Sections 3.2 and 4.3)."""
+
+    name = "bitonic"
+
+    #: The paper evaluates k up to 1024; shared memory bounds k at twice the
+    #: maximum thread-block size (Section 4.3, "Operating in Shared Memory").
+    max_k = 2048
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        flags: OptimizationFlags = FULL,
+    ):
+        super().__init__(device)
+        self.flags = flags
+
+    def supports(self, n: int, k: int, dtype: np.dtype) -> bool:
+        return 1 <= k <= self.max_k
+
+    def run(
+        self, data: np.ndarray, k: int, model_n: int | None = None
+    ) -> TopKResult:
+        validate_topk_args(data, k)
+        n = len(data)
+        if not self.supports(n, k, data.dtype):
+            raise InvalidParameterError(
+                f"bitonic top-k supports k <= {self.max_k}, got {k}"
+            )
+        network_k = _next_power_of_two(k)
+        padded_n = max(_next_power_of_two(n), network_k)
+        working = np.full(padded_n, _sentinel(data.dtype), dtype=data.dtype)
+        working[:n] = data
+        payload = np.arange(padded_n, dtype=np.int64)
+        top_values, top_payload = reduce_topk(working, network_k, payload)
+        values = top_values[:k].copy()
+        indices = _fix_sentinel_indices(data, values, top_payload[:k].copy(), n)
+
+        trace = build_trace(
+            model_n or n, network_k, data.dtype.itemsize, self.flags, self.device
+        )
+        trace.notes["network_k"] = network_k
+        return self._result(values, indices, trace, k, n, model_n)
+
+    def memory_overhead(self, n: int, dtype: np.dtype) -> int:
+        """Auxiliary buffer bytes (n/B words — Section 4.3 discussion)."""
+        return memory_overhead_bytes(n, np.dtype(dtype).itemsize, self.flags)

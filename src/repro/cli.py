@@ -1,0 +1,149 @@
+"""Top-level command line: run top-k, the planner, or EXPLAIN.
+
+Examples::
+
+    python -m repro topk --n 1048576 --k 32
+    python -m repro topk --n 1048576 --k 32 --algorithm radix-select \\
+        --distribution bucket_killer --model-n 536870912
+    python -m repro plan --n 536870912 --k 256 --dtype uint32
+    python -m repro explain "SELECT id FROM tweets ORDER BY retweet_count \\
+        DESC LIMIT 50" --rows 262144 --model-rows 250000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms.registry import list_algorithms
+from repro.core.planner import TopKPlanner
+from repro.core.topk import topk
+from repro.costmodel.base import PROFILES, get_profile
+from repro.data.distributions import generate, list_distributions
+from repro.gpu.device import get_device, list_devices
+
+_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "int32": np.int32,
+    "int64": np.int64,
+    "uint32": np.uint32,
+    "uint64": np.uint64,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the SIGMOD 2018 bitonic top-k paper.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    run = commands.add_parser("topk", help="run a top-k and report timings")
+    run.add_argument("--n", type=int, default=1 << 20, help="input size")
+    run.add_argument("--k", type=int, default=32)
+    run.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto"] + list_algorithms(),
+    )
+    run.add_argument(
+        "--distribution", default="uniform", choices=list_distributions()
+    )
+    run.add_argument("--device", default="titan-x-maxwell", choices=list_devices())
+    run.add_argument(
+        "--model-n", type=int, default=None,
+        help="input size the execution trace models (default: --n)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--timeline", action="store_true", help="print the kernel timeline"
+    )
+
+    plan = commands.add_parser("plan", help="rank algorithms by predicted cost")
+    plan.add_argument("--n", type=int, default=1 << 29)
+    plan.add_argument("--k", type=int, default=64)
+    plan.add_argument("--dtype", default="float32", choices=sorted(_DTYPES))
+    plan.add_argument("--profile", default="uniform-float", choices=sorted(PROFILES))
+    plan.add_argument("--device", default="titan-x-maxwell", choices=list_devices())
+
+    explain = commands.add_parser(
+        "explain", help="cost out a SQL query on synthetic tweets"
+    )
+    explain.add_argument("sql", help="the query text (table must be 'tweets')")
+    explain.add_argument("--rows", type=int, default=1 << 16,
+                         help="functional table size")
+    explain.add_argument("--model-rows", type=int, default=250_000_000)
+    explain.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_topk(arguments) -> int:
+    device = get_device(arguments.device)
+    data = generate(arguments.distribution, arguments.n, arguments.seed)
+    result = topk(
+        data,
+        arguments.k,
+        algorithm=arguments.algorithm,
+        device=device,
+        model_n=arguments.model_n,
+    )
+    model_n = arguments.model_n or arguments.n
+    print(f"algorithm   : {result.algorithm}")
+    print(f"n / k       : {arguments.n} / {arguments.k} "
+          f"({arguments.distribution}, {data.dtype})")
+    print(f"model n     : {model_n}")
+    print(f"simulated   : {result.simulated_ms(device):.3f} ms on {device.name}")
+    print(f"top values  : {np.array2string(result.values[:8], precision=6)}")
+    print(f"top rows    : {result.indices[:8].tolist()}")
+    if arguments.timeline:
+        print(result.simulated_time(device).render())
+    return 0
+
+
+def _command_plan(arguments) -> int:
+    device = get_device(arguments.device)
+    planner = TopKPlanner(device)
+    choice = planner.choose(
+        arguments.n,
+        arguments.k,
+        np.dtype(_DTYPES[arguments.dtype]),
+        get_profile(arguments.profile),
+    )
+    print(f"configuration: n = {arguments.n}, k = {arguments.k}, "
+          f"{arguments.dtype}, {arguments.profile}, {device.name}")
+    print(f"choice       : {choice.algorithm} "
+          f"({choice.predicted_ms:.2f} ms predicted)")
+    for name, seconds in choice.candidates:
+        print(f"  {name:>14}: {seconds * 1e3:9.2f} ms")
+    return 0
+
+
+def _command_explain(arguments) -> int:
+    from repro.engine.session import Session
+    from repro.engine.twitter import generate_tweets
+
+    session = Session()
+    session.register(generate_tweets(arguments.rows, arguments.seed))
+    plan = session.explain(arguments.sql, model_rows=arguments.model_rows)
+    print(plan.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "topk":
+        return _command_topk(arguments)
+    if arguments.command == "plan":
+        return _command_plan(arguments)
+    if arguments.command == "explain":
+        return _command_explain(arguments)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

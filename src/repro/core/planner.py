@@ -1,0 +1,105 @@
+"""Cost-model-driven algorithm selection.
+
+The paper's closing motivation for its cost models: "a query planner needs
+to choose a top-k implementation."  :class:`TopKPlanner` evaluates every
+algorithm's cost model for a configuration, discards infeasible ones (the
+per-thread heap beyond its shared-memory capacity), and picks the cheapest.
+
+With the default device this reproduces the headline decision boundary:
+bitonic top-k for small k, radix select for large k, with the crossover in
+the hundreds (k = 256 in the paper's measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
+from repro.costmodel.radix_model import RadixSelectModel, SortModel
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec, get_device
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The planner's decision with its full candidate ranking."""
+
+    algorithm: str
+    predicted_seconds: float
+    candidates: tuple[tuple[str, float], ...]
+
+    @property
+    def predicted_ms(self) -> float:
+        return self.predicted_seconds * 1e3
+
+
+class TopKPlanner:
+    """Chooses a top-k algorithm via the Section 7 cost models."""
+
+    def __init__(self, device: DeviceSpec | None = None):
+        self.device = device or get_device()
+        self.models: list[CostModel] = [
+            BitonicModel(self.device),
+            RadixSelectModel(self.device),
+            SortModel(self.device),
+            PerThreadModel(self.device),
+            BucketSelectModel(self.device),
+        ]
+
+    def choose(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> PlanChoice:
+        """Rank all feasible algorithms and return the cheapest."""
+        if n <= 0 or k <= 0 or k > n:
+            raise InvalidParameterError(
+                f"invalid top-k configuration: n = {n}, k = {k}"
+            )
+        dtype = np.dtype(dtype)
+        ranking: list[tuple[str, float]] = []
+        for model in self.models:
+            if not model.supports(n, k, dtype):
+                continue
+            ranking.append((model.algorithm, model.predict_seconds(n, k, dtype, profile)))
+        ranking.sort(key=lambda item: item[1])
+        best_name, best_time = ranking[0]
+        return PlanChoice(
+            algorithm=best_name,
+            predicted_seconds=best_time,
+            candidates=tuple(ranking),
+        )
+
+    def crossover_k(
+        self,
+        n: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+        max_k: int = 2048,
+    ) -> int | None:
+        """Smallest power-of-two k at which radix select overtakes bitonic.
+
+        The headline decision boundary of the evaluation (bitonic wins up
+        to the crossover, radix select beyond); compares exactly the two
+        algorithms the paper models in Section 7.  Returns None if bitonic
+        wins everywhere up to ``max_k``.
+        """
+        bitonic = BitonicModel(self.device)
+        radix = RadixSelectModel(self.device)
+        k = 1
+        while k <= max_k:
+            effective_k = min(k, n)
+            radix_time = radix.predict_seconds(n, effective_k, dtype, profile)
+            bitonic_time = bitonic.predict_seconds(n, effective_k, dtype, profile)
+            if not bitonic.supports(n, effective_k, dtype) or (
+                radix_time < bitonic_time
+            ):
+                return k
+            k *= 2
+        return None

@@ -1,0 +1,103 @@
+"""The library's public top-k entry point.
+
+    >>> from repro import topk
+    >>> result = topk(values, k=32)                     # auto-planned
+    >>> result = topk(values, k=32, algorithm="bitonic")
+    >>> result = topk(values, k=32, largest=False)      # bottom-k
+
+All the algorithms natively find the *largest* k; bottom-k is served by
+order-reversing the keys (negating floats / complementing integers), which
+costs one elementwise pass — the same trick a database projection would
+apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TopKResult, validate_topk_args
+from repro.algorithms.registry import create
+from repro.core.planner import TopKPlanner
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec, get_device
+
+
+def _order_reversed(values: np.ndarray) -> np.ndarray:
+    """Keys whose ascending order is the descending order of ``values``."""
+    if values.dtype.kind == "f":
+        return -values
+    if values.dtype.kind == "u":
+        return np.iinfo(values.dtype).max - values
+    if values.dtype.kind == "i":
+        # Complement avoids the overflow of negating the dtype minimum.
+        return -1 - values
+    raise InvalidParameterError(f"cannot reverse order of dtype {values.dtype}")
+
+
+def topk(
+    values: np.ndarray,
+    k: int,
+    algorithm: str = "auto",
+    largest: bool = True,
+    device: DeviceSpec | None = None,
+    model_n: int | None = None,
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+) -> TopKResult:
+    """Find the k largest (or smallest) elements of ``values``.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional numpy array of a supported dtype (float32/64,
+        int32/64, uint32/64).
+    k:
+        Number of results, 1 <= k <= len(values).
+    algorithm:
+        A registry name ("bitonic", "radix-select", "sort", "per-thread",
+        "bucket-select", "per-thread-registers"), or "auto" to let the
+        Section 7 cost models choose.
+    largest:
+        True for top-k (default), False for bottom-k.
+    device:
+        Simulated GPU profile; defaults to the paper's Titan X Maxwell.
+    model_n:
+        Input size the execution trace models (defaults to ``len(values)``;
+        benchmarks pass the paper's 2^29).
+    profile:
+        Workload statistics for the "auto" planner.
+
+    Returns
+    -------
+    TopKResult with ``values`` sorted in rank order (best first),
+    ``indices`` into the input, and the simulated execution trace.
+    """
+    values = np.asarray(values)
+    validate_topk_args(values, k)
+    device = device or get_device()
+    if algorithm == "auto":
+        choice = TopKPlanner(device).choose(len(values), k, values.dtype, profile)
+        algorithm = choice.algorithm
+    implementation = create(algorithm, device)
+
+    if largest:
+        return implementation.run(values, k, model_n=model_n)
+
+    reversed_keys = _order_reversed(values)
+    result = implementation.run(reversed_keys, k, model_n=model_n)
+    # Map the reversed-key results back to the original values.
+    result.values = values[result.indices].copy()
+    return result
+
+
+def bottomk(
+    values: np.ndarray,
+    k: int,
+    algorithm: str = "auto",
+    device: DeviceSpec | None = None,
+    model_n: int | None = None,
+) -> TopKResult:
+    """Convenience wrapper: the k smallest elements."""
+    return topk(
+        values, k, algorithm=algorithm, largest=False, device=device, model_n=model_n
+    )

@@ -1,0 +1,44 @@
+"""Cost models (Section 7): predict algorithm runtimes for planning."""
+
+from repro.costmodel.base import (
+    BUCKET_KILLER,
+    INCREASING_FLOAT,
+    PROFILES,
+    UNIFORM_FLOAT,
+    UNIFORM_UINT,
+    CostModel,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.other_models import (
+    BucketSelectModel,
+    PerThreadModel,
+    expected_heap_inserts,
+)
+from repro.costmodel.radix_model import RadixSelectModel, SortModel
+from repro.costmodel.whatif import (
+    CrossoverPoint,
+    crossover_vs_bandwidth_ratio,
+    sweep_devices,
+)
+
+__all__ = [
+    "BUCKET_KILLER",
+    "INCREASING_FLOAT",
+    "PROFILES",
+    "UNIFORM_FLOAT",
+    "UNIFORM_UINT",
+    "CostModel",
+    "WorkloadProfile",
+    "get_profile",
+    "BitonicModel",
+    "BucketSelectModel",
+    "PerThreadModel",
+    "expected_heap_inserts",
+    "RadixSelectModel",
+    "SortModel",
+    "CrossoverPoint",
+    "crossover_vs_bandwidth_ratio",
+    "sweep_devices",
+]

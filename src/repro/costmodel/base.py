@@ -1,0 +1,121 @@
+"""Cost-model interfaces (Section 7).
+
+A cost model *predicts* the runtime of an algorithm from hardware
+parameters and workload statistics, without running anything — the tool a
+query planner needs to choose a top-k implementation (the paper's closing
+argument).  Models intentionally use the *peak* hardware bandwidths, like
+the paper's: both its models and ours therefore underestimate the measured
+(simulated) times by the achievable-bandwidth gap, which Figure 17
+quantifies.
+
+Workload statistics that are data-dependent (radix survivor fractions,
+heap insert rates) enter through :class:`WorkloadProfile`; presets cover
+the paper's distributions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec, get_device
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Distribution-dependent statistics a cost model may need.
+
+    * ``radix_survivor_fractions`` — eta_i per radix-select pass: fraction
+      of candidates falling into the k-th element's bucket.
+    * ``bucket_survivor_fractions`` — the analogue for bucket select.
+    * ``heap_insert_rate`` — probability that a scanned element triggers a
+      per-thread heap insert, as a function handle is overkill: we store
+      the adversarial flag instead; the model derives the uniform rate from
+      order statistics (k/i for the i-th element) and the sorted-ascending
+      worst case (every element inserts).
+    """
+
+    name: str = "uniform-float"
+    radix_survivor_fractions: tuple[float, ...] = (0.5, 1.0 / 128, 0.01, 0.01)
+    bucket_survivor_fractions: tuple[float, ...] = (1.0 / 16, 1.0 / 16, 1.0 / 16)
+    every_element_inserts: bool = False
+
+
+#: Uniform U(0, 1) float32: half the values share the top exponent byte, so
+#: the first radix pass only halves the data; the second pass (7 mantissa
+#: bits) cuts by 128.
+UNIFORM_FLOAT = WorkloadProfile(name="uniform-float")
+
+#: Uniform uint32: every pass achieves the maximal 256x reduction.
+UNIFORM_UINT = WorkloadProfile(
+    name="uniform-uint",
+    radix_survivor_fractions=(1.0 / 256, 1.0 / 256, 1.0 / 256, 1.0 / 256),
+)
+
+#: Sorted ascending floats: radix behaviour unchanged, but every element
+#: updates a per-thread heap.
+INCREASING_FLOAT = WorkloadProfile(
+    name="increasing-float", every_element_inserts=True
+)
+
+#: The Section 6.4 adversarial distribution: each pass eliminates exactly
+#: one element — a nonzero reduction, so the write-skip never triggers and
+#: every pass pays a full read + write like a sort pass.
+BUCKET_KILLER = WorkloadProfile(
+    name="bucket-killer",
+    radix_survivor_fractions=(0.999999, 0.999999, 0.999999, 0.999999),
+    bucket_survivor_fractions=(0.999999, 0.999999),
+)
+
+PROFILES = {
+    profile.name: profile
+    for profile in (UNIFORM_FLOAT, UNIFORM_UINT, INCREASING_FLOAT, BUCKET_KILLER)
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise InvalidParameterError(
+            f"unknown workload profile {name!r}; available: {known}"
+        ) from None
+
+
+class CostModel(abc.ABC):
+    """Predicts the runtime of one algorithm family."""
+
+    #: Must match the algorithm registry name it models.
+    algorithm: str = "abstract"
+
+    def __init__(self, device: DeviceSpec | None = None):
+        self.device = device or get_device()
+
+    @abc.abstractmethod
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        """Predicted runtime in seconds."""
+
+    def predict_ms(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        """Predicted runtime in milliseconds (convenience)."""
+        return self.predict_seconds(n, k, np.dtype(dtype), profile) * 1e3
+
+    def supports(self, n: int, k: int, dtype: np.dtype) -> bool:
+        """Mirror of the algorithm's resource feasibility check."""
+        return True

@@ -1,0 +1,124 @@
+"""Cost models for the remaining algorithms (beyond the paper's Section 7).
+
+The paper models only its two best performers.  A query planner choosing
+among all five needs estimates for the others too, so we extend the same
+methodology:
+
+* :class:`PerThreadModel` — coalesced scan derated by occupancy, plus the
+  expected warp-serialized heap updates.  The expected insert count for an
+  exchangeable (i.i.d.) stream of length m is sum_{i<=m} min(1, k/i)
+  ~= k (1 + ln(m/k)); the sorted-ascending worst case inserts every
+  element.
+* :class:`BucketSelectModel` — min/max pass plus refinement passes with
+  per-element atomic counting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.per_thread import DEVICE_THREADS
+from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
+from repro.gpu.occupancy import BlockResources, bandwidth_derating, occupancy
+
+
+def expected_heap_inserts(stream_length: int, k: int) -> float:
+    """Expected inserts for an i.i.d. stream (order-statistics argument)."""
+    if stream_length <= k:
+        return float(stream_length)
+    return k * (1.0 + math.log(stream_length / k))
+
+
+class PerThreadModel(CostModel):
+    """Predicts per-thread heap top-k runtime."""
+
+    algorithm = "per-thread"
+
+    def __init__(self, device=None, device_threads: int = DEVICE_THREADS):
+        super().__init__(device)
+        self.device_threads = device_threads
+
+    def supports(self, n: int, k: int, dtype: np.dtype) -> bool:
+        return k * 32 * np.dtype(dtype).itemsize <= self.device.shared_memory_per_block
+
+    def _occupancy(self, k: int, width: int) -> float:
+        best = 0.0
+        for threads in (256, 128, 64, 32):
+            shared = k * threads * width
+            if shared > self.device.shared_memory_per_block:
+                continue
+            resources = BlockResources(
+                threads=threads, shared_memory_bytes=shared, registers_per_thread=40
+            )
+            best = max(best, occupancy(self.device, resources))
+        return best
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        dtype = np.dtype(dtype)
+        width = dtype.itemsize
+        occupancy_value = self._occupancy(k, width)
+        derate = bandwidth_derating(occupancy_value)
+        scan = (float(n) * width) / (self.device.global_bandwidth * derate)
+
+        stream = max(1, n // self.device_threads)
+        if profile.every_element_inserts:
+            inserts_per_thread = float(stream)
+            warp_events = float(stream)
+        else:
+            inserts_per_thread = expected_heap_inserts(stream, k)
+            # Any of the warp's 32 lanes inserting stalls the warp.
+            warp_events = min(float(stream), inserts_per_thread * 32.0)
+        update_depth = 2.0 * max(1.0, math.log2(max(k, 2)))
+        warps = self.device_threads / self.device.warp_size
+        serialized = warp_events * update_depth * warps * self.device.warp_size
+        divergence = serialized / (self.device.total_cores * self.device.clock_hz)
+
+        # Shared-memory traffic: one root comparison per element plus two
+        # words per sift level per insert — the dominant term when every
+        # element updates the heap (sorted input).
+        total_inserts = inserts_per_thread * self.device_threads
+        shared_bytes = float(n) * width + total_inserts * update_depth * 2.0 * width
+        shared = shared_bytes / self.device.shared_bandwidth
+
+        reduce = (
+            float(self.device_threads * k) * width / self.device.global_bandwidth
+        )
+        return max(scan, shared) + divergence + reduce
+
+
+class BucketSelectModel(CostModel):
+    """Predicts bucket-select runtime (min/max pass + atomic refinements)."""
+
+    algorithm = "bucket-select"
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        dtype = np.dtype(dtype)
+        width = dtype.itemsize
+        bandwidth = self.device.global_bandwidth
+        total = float(n) * width / bandwidth  # min/max pass
+        if k == 1:
+            return total
+        live = float(n)
+        for eta in profile.bucket_survivor_fractions:
+            count_pass = live * width / bandwidth
+            atomic = live * self.device.atomic_op_cost / self.device.num_sms
+            scatter = (live + eta * live) * width / bandwidth
+            total += count_pass + atomic + scatter
+            live *= eta
+            if live < 1.0:
+                break
+        return total

@@ -1,0 +1,88 @@
+"""Cost model for radix-based top-k (Section 7.1).
+
+Pass i over D_Ii input bytes costs
+
+    T_i1 = D_Ii / B_G + 16 * 4 * nt / B_G          (histogram)
+    T_i2 = 2 * 16 * 4 * nt / B_G                   (prefix sum)
+    T_i3 = D_Ii / B_G + eta_i * D_Ii / B_G         (cluster; skipped if
+                                                    eta_i = 1)
+
+with at most w/8 passes for w-bit keys, and D_{i+1} = eta_i * D_Ii.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import keys as keycodec
+from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
+from repro.algorithms.radix_select import HISTOGRAM_INTS_PER_THREAD
+
+
+class RadixSelectModel(CostModel):
+    """Predicts radix-select runtime from the eta_i survivor fractions."""
+
+    algorithm = "radix-select"
+
+    def __init__(self, device=None, num_threads: int | None = None):
+        super().__init__(device)
+        self.num_threads = num_threads or self.device.total_cores * 8
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        dtype = np.dtype(dtype)
+        width = keycodec.key_bytes(dtype)
+        bandwidth = self.device.global_bandwidth
+        histogram_bytes = HISTOGRAM_INTS_PER_THREAD * 4.0 * self.num_threads
+        passes = keycodec.key_bits(dtype) // 8
+        fractions = profile.radix_survivor_fractions
+        total = 0.0
+        live = float(n) * width
+        for index in range(passes):
+            eta = fractions[index] if index < len(fractions) else fractions[-1]
+            total += (live + histogram_bytes) / bandwidth
+            total += 2.0 * histogram_bytes / bandwidth
+            if eta < 1.0:
+                total += (live + eta * live) / bandwidth
+                live *= eta
+            if live < width:
+                break
+        return total
+
+
+class SortModel(CostModel):
+    """Cost of the Sort-and-Choose baseline: w/8 full histogram+scatter passes.
+
+    Independent of both k and the distribution, matching its flat lines.
+    """
+
+    algorithm = "sort"
+
+    def __init__(self, device=None, num_threads: int | None = None):
+        super().__init__(device)
+        self.num_threads = num_threads or self.device.total_cores * 8
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        dtype = np.dtype(dtype)
+        width = keycodec.key_bytes(dtype)
+        bandwidth = self.device.global_bandwidth
+        histogram_bytes = HISTOGRAM_INTS_PER_THREAD * 4.0 * self.num_threads
+        data_bytes = float(n) * width
+        passes = keycodec.key_bits(dtype) // 8
+        per_pass = (
+            (data_bytes + histogram_bytes)
+            + 2.0 * histogram_bytes
+            + 2.0 * data_bytes
+        ) / bandwidth
+        return passes * per_pass

@@ -1,0 +1,104 @@
+"""What-if hardware analysis: where do the decision boundaries move?
+
+Section 7 motivates the cost models with portability: "to predict the
+performance on different hardware".  This module asks the resulting
+questions directly:
+
+* :func:`crossover_vs_bandwidth_ratio` — the bitonic/radix-select
+  crossover k as a function of the device's shared-to-global bandwidth
+  ratio.  Bitonic top-k is shared-bound at interesting k while radix
+  select is global-bound, so cards with relatively faster shared memory
+  (the trend from Maxwell to Volta) push the crossover *up* — bitonic wins
+  a wider range on newer hardware.
+* :func:`sweep_devices` — every registered profile's planner choices over
+  k, the table a deployment engineer would want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.radix_model import RadixSelectModel
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec, get_device, list_devices
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """One what-if sample: a device variant and its crossover k."""
+
+    shared_to_global_ratio: float
+    crossover_k: int | None
+
+
+def _crossover(device: DeviceSpec, n: int, dtype, profile) -> int | None:
+    bitonic = BitonicModel(device)
+    radix = RadixSelectModel(device)
+    k = 1
+    while k <= 4096:
+        if not bitonic.supports(n, k, dtype) or (
+            radix.predict_seconds(n, k, dtype, profile)
+            < bitonic.predict_seconds(n, k, dtype, profile)
+        ):
+            return k
+        k *= 2
+    return None
+
+
+def crossover_vs_bandwidth_ratio(
+    ratios: list[float],
+    n: int = 1 << 29,
+    dtype=np.float32,
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+    base_device: DeviceSpec | None = None,
+) -> list[CrossoverPoint]:
+    """Sweep the shared/global bandwidth ratio, holding global fixed.
+
+    The Titan X Maxwell sits at a ratio of ~11.6 (2.9 TB/s over 251 GB/s);
+    a V100 at ~15.3.  Higher ratios cheapen bitonic's shared-bound kernels
+    without helping radix select, moving the crossover to larger k.
+    """
+    if not ratios:
+        raise InvalidParameterError("provide at least one ratio")
+    base = base_device or get_device()
+    dtype = np.dtype(dtype)
+    points = []
+    for ratio in ratios:
+        if ratio <= 0:
+            raise InvalidParameterError("bandwidth ratios must be positive")
+        variant = replace(
+            base,
+            name=f"{base.name}-ratio-{ratio:g}",
+            shared_bandwidth=base.global_bandwidth * ratio,
+        )
+        points.append(
+            CrossoverPoint(
+                shared_to_global_ratio=ratio,
+                crossover_k=_crossover(variant, n, dtype, profile),
+            )
+        )
+    return points
+
+
+def sweep_devices(
+    n: int = 1 << 29,
+    ks: tuple[int, ...] = (1, 16, 64, 256, 1024),
+    dtype=np.float32,
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+) -> dict[str, dict[int, str]]:
+    """Planner choice per (device, k) across all registered profiles."""
+    # Imported lazily: the planner package imports the cost models.
+    from repro.core.planner import TopKPlanner
+
+    dtype = np.dtype(dtype)
+    table: dict[str, dict[int, str]] = {}
+    for name in list_devices():
+        planner = TopKPlanner(get_device(name))
+        table[name] = {
+            k: planner.choose(n, k, dtype, profile).algorithm for k in ks
+        }
+    return table

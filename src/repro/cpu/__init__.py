@@ -1,0 +1,18 @@
+"""CPU substrate and baselines (Section 6.7 / Appendix C)."""
+
+from repro.cpu.bitonic_cpu import CpuBitonicTopK, partition_bitonic_topk
+from repro.cpu.heap import HeapStats, MinHeap
+from repro.cpu.pq_topk import HandPqTopK, StlPqTopK, heap_topk_stream
+from repro.cpu.spec import I7_6900, CpuSpec
+
+__all__ = [
+    "CpuBitonicTopK",
+    "partition_bitonic_topk",
+    "HeapStats",
+    "MinHeap",
+    "HandPqTopK",
+    "StlPqTopK",
+    "heap_topk_stream",
+    "I7_6900",
+    "CpuSpec",
+]

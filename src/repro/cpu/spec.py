@@ -1,0 +1,71 @@
+"""CPU hardware model for the Section 6.7 baselines.
+
+The paper's CPU is a single-socket Intel i7-6900 @ 3.20 GHz (8 cores / 16
+hardware threads).  The CPU algorithms are modeled with the same
+methodology as the GPU ones: a memory-bandwidth term for the scan and a
+compute term for the data-dependent work, with the runtime being their
+maximum (cores prefetch well enough to overlap the two on a streaming
+scan).
+
+Calibration constants come from the paper's reported ratios at k = 32 over
+2^29 uniform floats: the hand-optimized PQ is ~3x slower than GPU bitonic
+(memory-bound at ~46 GB/s), and on sorted input it is 60x slower (about
+44 cycles per heap replacement), with the STL PQ at twice that (pop +
+push instead of replace-root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Hardware parameters of the modeled CPU."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    memory_bandwidth: float
+    #: SIMD lanes for 4-byte keys (the Appendix C implementation uses
+    #: 128-bit SSE).
+    simd_width: int = 4
+    #: Cycles per scanned element for the compare-against-root check.
+    compare_cost_cycles: float = 2.0
+    #: Cycles per heap replacement (compare against root + sift-down).
+    heap_replace_cycles: float = 44.0
+    #: Cycles per STL-style pop-then-push update.
+    stl_update_cycles: float = 88.0
+    #: Cycles per (vectorized) bitonic compare-exchange, per SIMD vector.
+    bitonic_compare_cycles: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.frequency_hz <= 0:
+            raise InvalidParameterError("cores and frequency must be positive")
+        if self.memory_bandwidth <= 0:
+            raise InvalidParameterError("memory bandwidth must be positive")
+
+    @property
+    def total_cycles_per_second(self) -> float:
+        return self.cores * self.frequency_hz
+
+    def scan_time(self, num_bytes: float) -> float:
+        """Seconds to stream ``num_bytes`` from main memory."""
+        return num_bytes / self.memory_bandwidth
+
+    def compute_time(self, cycles: float) -> float:
+        """Seconds to execute ``cycles`` spread over all cores."""
+        return cycles / self.total_cycles_per_second
+
+
+#: The paper's evaluation CPU (Section 6.1).
+I7_6900 = CpuSpec(
+    name="i7-6900",
+    cores=8,
+    frequency_hz=3.2e9,
+    memory_bandwidth=46 * GB,
+)

@@ -1,0 +1,29 @@
+"""Workload generators: key distributions and key/value record batches."""
+
+from repro.data.distributions import (
+    bucket_killer,
+    decreasing,
+    generate,
+    increasing,
+    list_distributions,
+    uniform_doubles,
+    uniform_floats,
+    uniform_uints,
+    zipf_integers,
+)
+from repro.data.records import RecordBatch, gather_payload, make_batch
+
+__all__ = [
+    "bucket_killer",
+    "decreasing",
+    "generate",
+    "increasing",
+    "list_distributions",
+    "uniform_doubles",
+    "uniform_floats",
+    "uniform_uints",
+    "zipf_integers",
+    "RecordBatch",
+    "gather_payload",
+    "make_batch",
+]

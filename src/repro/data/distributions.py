@@ -1,0 +1,135 @@
+"""Workload data generators for the evaluation (Section 6).
+
+Each generator returns a numpy array with the dtype and distribution used by
+one of the paper's experiments:
+
+* ``uniform_floats`` — U(0, 1) float32, the default workload (Fig. 11a).
+* ``uniform_uints`` — U(0, 2^32 - 1) uint32 (Fig. 11b).
+* ``uniform_doubles`` — U(0, 1) float64 (Fig. 11c).
+* ``increasing`` / ``decreasing`` — sorted U(0, 1), the adversarial input
+  for heap-based methods (Fig. 12a, Fig. 15b, Fig. 18).
+* ``bucket_killer`` — all ones except a handful of values that each differ
+  from 1.0 in exactly one 8-bit digit of their bit pattern, so every radix
+  pass eliminates only a single element (Fig. 12b).
+* ``zipf`` — skewed integers for the group-by workload of the MapD study.
+
+All generators take a ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform_floats(n: int, seed: int | None = 0) -> np.ndarray:
+    """n float32 values drawn from U(0, 1)."""
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    return _rng(seed).random(n, dtype=np.float32)
+
+
+def uniform_doubles(n: int, seed: int | None = 0) -> np.ndarray:
+    """n float64 values drawn from U(0, 1)."""
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    return _rng(seed).random(n, dtype=np.float64)
+
+
+def uniform_uints(n: int, seed: int | None = 0) -> np.ndarray:
+    """n uint32 values drawn from U(0, 2^32 - 1)."""
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    return _rng(seed).integers(0, 2**32, size=n, dtype=np.uint32)
+
+
+def increasing(n: int, seed: int | None = 0, dtype=np.float32) -> np.ndarray:
+    """Sorted ascending U(0, 1) values — every element beats the heap minimum."""
+    values = _rng(seed).random(n).astype(dtype)
+    values.sort()
+    return values
+
+
+def decreasing(n: int, seed: int | None = 0, dtype=np.float32) -> np.ndarray:
+    """Sorted descending U(0, 1) values — no heap updates after warm-up."""
+    return increasing(n, seed, dtype)[::-1].copy()
+
+
+def bucket_killer(n: int, seed: int | None = 0) -> np.ndarray:
+    """The adversarial distribution for radix select (Section 6.4).
+
+    All elements are 1.0f except four, each of which differs from 1.0 in a
+    single 8-bit digit of its IEEE-754 bit pattern.  A most-significant-
+    digit radix pass can then only ever eliminate one element, so radix
+    select degrades to the cost of a full sort.
+    """
+    if n < 5:
+        raise InvalidParameterError("bucket_killer needs at least 5 elements")
+    values = np.ones(n, dtype=np.float32)
+    one_bits = np.float32(1.0).view(np.uint32)
+    specials = []
+    for digit in range(4):
+        # Flip a low bit inside one 8-bit digit so the value sorts *below*
+        # 1.0 in exactly that radix pass.
+        flipped = np.uint32(one_bits ^ np.uint32(1 << (8 * digit)))
+        specials.append(flipped)
+    positions = _rng(seed).choice(n, size=4, replace=False)
+    bits = values.view(np.uint32)
+    for position, special in zip(positions, specials):
+        bits[position] = special
+    return values
+
+
+def zipf_integers(
+    n: int, num_distinct: int, skew: float = 1.1, seed: int | None = 0
+) -> np.ndarray:
+    """n int64 keys over ``num_distinct`` values with Zipf-like frequency skew.
+
+    Used by the synthetic twitter workload: a few very heavy users / very
+    popular tweets and a long tail, the regime where a group-by dominates a
+    top-k (the paper's Q4 hashtag remark).
+    """
+    if num_distinct <= 0:
+        raise InvalidParameterError("num_distinct must be positive")
+    if skew <= 0:
+        raise InvalidParameterError("skew must be positive")
+    rng = _rng(seed)
+    # Inverse-CDF sampling over a truncated zeta distribution.
+    ranks = np.arange(1, num_distinct + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(n)
+    return np.searchsorted(cdf, draws).astype(np.int64)
+
+
+_GENERATORS = {
+    "uniform": uniform_floats,
+    "uniform_doubles": uniform_doubles,
+    "uniform_uints": uniform_uints,
+    "increasing": increasing,
+    "decreasing": decreasing,
+    "bucket_killer": bucket_killer,
+}
+
+
+def generate(name: str, n: int, seed: int | None = 0) -> np.ndarray:
+    """Generate a named distribution (registry used by the bench harness)."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise InvalidParameterError(
+            f"unknown distribution {name!r}; available: {known}"
+        ) from None
+    return generator(n, seed)
+
+
+def list_distributions() -> list[str]:
+    """Names of all registered distributions."""
+    return sorted(_GENERATORS)

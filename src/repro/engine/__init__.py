@@ -1,0 +1,34 @@
+"""Columnar query engine with fused top-k operators (the MapD study)."""
+
+from repro.engine.executor import STRATEGIES, QueryExecutor, QueryResult
+from repro.engine.explain import QueryPlan, StrategyPlan, explain
+from repro.engine.expressions import BinaryOp, Column, Expression, Literal, Not
+from repro.engine.loader import from_csv, from_csv_text, from_rows
+from repro.engine.session import Session
+from repro.engine.sql import Query, parse
+from repro.engine.table import Table, make_table
+from repro.engine.twitter import generate_tweets, time_threshold_for_selectivity
+
+__all__ = [
+    "STRATEGIES",
+    "QueryPlan",
+    "StrategyPlan",
+    "explain",
+    "QueryExecutor",
+    "QueryResult",
+    "BinaryOp",
+    "Column",
+    "Expression",
+    "Literal",
+    "Not",
+    "from_csv",
+    "from_csv_text",
+    "from_rows",
+    "Session",
+    "Query",
+    "parse",
+    "Table",
+    "make_table",
+    "generate_tweets",
+    "time_threshold_for_selectivity",
+]

@@ -1,0 +1,391 @@
+"""Physical query execution with the Section 5 top-k integration strategies.
+
+For an ``ORDER BY expr [DESC] LIMIT k`` query the executor supports the
+strategies compared in Section 6.8:
+
+* ``"sort"``          — MapD's default: materialize the (rank, id) pairs
+  that pass the filter / projection, fully radix-sort them, take k.
+* ``"topk"``          — replace the sort with bitonic top-k, keeping the
+  separate filter/projection kernel.
+* ``"fused"``         — run the filter or ranking projection *inside* the
+  SortReducer (the buffer-filler design of Section 5), eliminating the
+  intermediate global write + read.
+
+GROUP BY ... ORDER BY count queries run a hash-aggregation kernel first
+and then apply the chosen top-k strategy to the per-group counts (query 4).
+
+Functional results are exact (numpy); traces account the kernels each
+strategy would launch, scaled to ``model_rows`` when the caller wants
+paper-scale timings (250M tweets) from a smaller functional table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitonic.kernels import build_trace
+from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.bitonic.topk import BitonicTopK
+from repro.engine.expressions import Expression, column_width
+from repro.engine.sql import Query, parse
+from repro.engine.table import Table
+from repro.errors import UnsupportedQueryError
+from repro.gpu.counters import ExecutionTrace
+from repro.gpu.device import DeviceSpec, get_device
+from repro.gpu.timing import TraceTime, trace_time
+
+#: Key + row-id bytes moved per materialized candidate row (4-byte rank
+#: value and 4-byte id, the (key, id) layout Section 6.6 recommends).
+CANDIDATE_ROW_BYTES = 8
+
+STRATEGIES = ("sort", "topk", "fused")
+
+
+@dataclass
+class QueryResult:
+    """A finished query: result columns plus the simulated execution trace."""
+
+    columns: dict[str, np.ndarray]
+    trace: ExecutionTrace
+    strategy: str
+    device: DeviceSpec
+    num_input_rows: int
+    num_result_rows: int
+
+    def simulated_time(self) -> TraceTime:
+        return trace_time(self.trace, self.device)
+
+    def simulated_ms(self) -> float:
+        return self.simulated_time().total_ms
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+class QueryExecutor:
+    """Executes parsed queries against a table under a chosen strategy."""
+
+    def __init__(
+        self,
+        table: Table,
+        device: DeviceSpec | None = None,
+        flags: OptimizationFlags = FULL,
+    ):
+        self.table = table
+        self.device = device or get_device()
+        self.flags = flags
+
+    def sql(
+        self,
+        text: str,
+        strategy: str = "fused",
+        model_rows: int | None = None,
+    ) -> QueryResult:
+        """Parse and execute a SQL string."""
+        return self.execute(parse(text), strategy, model_rows)
+
+    def execute(
+        self,
+        query: Query,
+        strategy: str = "fused",
+        model_rows: int | None = None,
+    ) -> QueryResult:
+        if strategy not in STRATEGIES:
+            raise UnsupportedQueryError(
+                f"unknown strategy {strategy!r}; available: {STRATEGIES}"
+            )
+        if query.table != self.table.name:
+            raise UnsupportedQueryError(
+                f"query targets table {query.table!r} but executor holds "
+                f"{self.table.name!r}"
+            )
+        model = model_rows or len(self.table)
+        if query.group_by:
+            return self._execute_group_by(query, strategy, model)
+        if query.order_by is not None and query.limit is not None:
+            return self._execute_topk(query, strategy, model)
+        return self._execute_scan(query, model)
+
+    # -- plain scans ----------------------------------------------------
+
+    def _execute_scan(self, query: Query, model_rows: int) -> QueryResult:
+        mask = self._filter_mask(query)
+        indices = np.flatnonzero(mask)
+        if query.limit is not None:
+            indices = indices[: query.limit]
+        columns = self._project(query, indices)
+        trace = ExecutionTrace()
+        scan = trace.launch("scan-filter")
+        width = self._scan_width(query)
+        scan.add_global_read(float(model_rows) * width)
+        selectivity = len(indices) / max(1, len(self.table))
+        scan.add_global_write(
+            float(model_rows) * selectivity * self.table.row_bytes()
+        )
+        return QueryResult(
+            columns, trace, "scan", self.device, len(self.table), len(indices)
+        )
+
+    # -- ORDER BY ... LIMIT k -------------------------------------------
+
+    def _execute_topk(
+        self, query: Query, strategy: str, model_rows: int
+    ) -> QueryResult:
+        mask = self._filter_mask(query)
+        candidate_rows = np.flatnonzero(mask)
+        k = min(query.limit, len(candidate_rows))
+        keys = query.order_by_keys or [(query.order_by, query.order_desc)]
+        if k <= 0:
+            result_rows = np.empty(0, dtype=np.int64)
+        elif len(keys) == 1:
+            ranks = self._rank_array(keys[0][0])
+            if not keys[0][1]:
+                ranks = -ranks
+            candidate_ranks = ranks[mask].astype(np.float32)
+            top = BitonicTopK(self.device, self.flags).run(candidate_ranks, k)
+            result_rows = candidate_rows[top.indices]
+        else:
+            # Multi-key lexicographic order (the KKV kernel of Section
+            # 6.6); functional selection via a stable multi-key sort.
+            sort_keys = []
+            for expression, descending in keys:
+                values = self._rank_array(expression)
+                sort_keys.append(-values[mask] if descending else values[mask])
+            order = np.lexsort(tuple(reversed(sort_keys)))[:k]
+            result_rows = candidate_rows[order]
+        columns = self._project(query, result_rows)
+
+        selectivity = len(candidate_rows) / max(1, len(self.table))
+        matched_model = max(1, int(round(model_rows * selectivity)))
+        trace = self._topk_trace(query, strategy, model_rows, matched_model, k)
+        return QueryResult(
+            columns, trace, strategy, self.device, len(self.table), len(result_rows)
+        )
+
+    def _topk_trace(
+        self,
+        query: Query,
+        strategy: str,
+        model_rows: int,
+        matched_rows: int,
+        k: int,
+    ) -> ExecutionTrace:
+        network_k = 1 << max(0, (max(k, 1) - 1).bit_length())
+        has_filter = query.where is not None
+        scan_width = self._scan_width(query)
+        # One 4-byte rank per ORDER BY key plus the 4-byte row id
+        # (the KV/KKV/KKKV row widths of Section 6.6).
+        num_keys = max(1, len(query.order_by_keys) or 1)
+        candidate_bytes_per_row = 4 * num_keys + 4
+        trace = ExecutionTrace()
+        if strategy == "fused":
+            fused = build_trace(
+                matched_rows,
+                network_k,
+                candidate_bytes_per_row,
+                self.flags,
+                self.device,
+            )
+            first = fused.kernels[0]
+            # The fused kernel scans the base columns instead of reading a
+            # materialized candidate array; the buffer-filler stages every
+            # scanned row through shared memory once (Section 5).
+            first.name = "FusedSortReducer"
+            first.global_bytes_read = float(model_rows) * scan_width
+            first.add_shared(float(model_rows) * 4.0)
+            trace.extend(fused)
+            trace.notes["selectivity"] = matched_rows / model_rows
+            return trace
+
+        materialize = trace.launch("filter-project" if has_filter else "project")
+        materialize.add_global_read(float(model_rows) * scan_width)
+        materialize.add_global_write(
+            float(matched_rows) * candidate_bytes_per_row
+        )
+        if strategy == "topk":
+            trace.extend(
+                build_trace(
+                    matched_rows,
+                    network_k,
+                    candidate_bytes_per_row,
+                    self.flags,
+                    self.device,
+                )
+            )
+            return trace
+        # strategy == "sort": LSD radix sort over the candidate rows.
+        candidate_bytes = float(matched_rows) * candidate_bytes_per_row
+        for pass_index in range(4):
+            kernel = trace.launch(f"sort-pass-{pass_index}")
+            kernel.add_global_read(candidate_bytes)
+            kernel.add_global_read(candidate_bytes)
+            kernel.add_global_write(candidate_bytes)
+        gather = trace.launch("gather-topk")
+        gather.add_global_read(float(max(k, 1)) * candidate_bytes_per_row)
+        return trace
+
+    # -- GROUP BY ... ORDER BY count LIMIT k ----------------------------
+
+    def _execute_group_by(
+        self, query: Query, strategy: str, model_rows: int
+    ) -> QueryResult:
+        if len(query.group_by) != 1:
+            raise UnsupportedQueryError("only single-column GROUP BY is supported")
+        aggregate_items = [item for item in query.select if item.is_aggregate]
+        if not aggregate_items:
+            raise UnsupportedQueryError(
+                "GROUP BY queries must select at least one aggregate"
+            )
+        group_column = query.group_by[0]
+        mask = self._filter_mask(query)
+        keys = self.table.column(group_column)[mask]
+        groups, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+
+        aggregates: dict[str, np.ndarray] = {}
+        for item in aggregate_items:
+            aggregates[item.alias] = self._aggregate(
+                item, mask, inverse, counts, len(groups)
+            )
+
+        if query.order_by is not None and query.limit is not None:
+            rank = self._group_rank(query, groups, aggregates, group_column)
+            if not query.order_desc:
+                rank = -rank
+            k = min(query.limit, len(groups))
+            top = BitonicTopK(self.device, self.flags).run(
+                rank.astype(np.float64), k
+            )
+            order = top.indices
+        else:
+            order = np.argsort(counts)[::-1]
+        result = {group_column: groups[order]}
+        for alias, values in aggregates.items():
+            result[alias] = values[order]
+
+        model_groups = max(
+            1, int(round(len(groups) * model_rows / max(1, len(self.table))))
+        )
+        trace = ExecutionTrace()
+        aggregate = trace.launch("hash-aggregate")
+        aggregate.add_global_read(
+            float(model_rows) * self.table.column(group_column).dtype.itemsize
+        )
+        aggregate.atomic_ops = float(model_rows)
+        aggregate.add_global_write(float(model_groups) * CANDIDATE_ROW_BYTES)
+        if query.limit is not None:
+            if strategy in ("topk", "fused"):
+                trace.extend(
+                    build_trace(
+                        model_groups,
+                        1 << max(0, (max(query.limit, 1) - 1).bit_length()),
+                        CANDIDATE_ROW_BYTES,
+                        self.flags,
+                        self.device,
+                    )
+                )
+            else:
+                group_bytes = float(model_groups) * CANDIDATE_ROW_BYTES
+                for pass_index in range(4):
+                    kernel = trace.launch(f"sort-pass-{pass_index}")
+                    kernel.add_global_read(2.0 * group_bytes)
+                    kernel.add_global_write(group_bytes)
+        return QueryResult(
+            result, trace, strategy, self.device, len(self.table), len(order)
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _aggregate(
+        self,
+        item,
+        mask: np.ndarray,
+        inverse: np.ndarray,
+        counts: np.ndarray,
+        num_groups: int,
+    ) -> np.ndarray:
+        """Evaluate one aggregate select item over the grouped rows."""
+        if item.aggregate == "count":
+            return counts
+        values = self._rank_array(item.expression)[mask]
+        if item.aggregate == "sum":
+            return np.bincount(inverse, weights=values, minlength=num_groups)
+        if item.aggregate == "avg":
+            totals = np.bincount(inverse, weights=values, minlength=num_groups)
+            return totals / counts
+        extreme = np.full(
+            num_groups, -np.inf if item.aggregate == "max" else np.inf
+        )
+        operator = np.maximum if item.aggregate == "max" else np.minimum
+        operator.at(extreme, inverse, values)
+        return extreme
+
+    def _group_rank(
+        self,
+        query: Query,
+        groups: np.ndarray,
+        aggregates: dict[str, np.ndarray],
+        group_column: str,
+    ) -> np.ndarray:
+        """The ORDER BY key of a grouped query: an aggregate alias or the
+        group column itself."""
+        from repro.engine.expressions import Column
+
+        key = query.order_by
+        if isinstance(key, Column):
+            if key.name in aggregates:
+                return np.asarray(aggregates[key.name], dtype=np.float64)
+            if key.name == group_column:
+                return groups.astype(np.float64)
+        raise UnsupportedQueryError(
+            "GROUP BY queries can only order by a selected aggregate alias "
+            "or the grouping column"
+        )
+
+    def _rank_array(self, expression) -> np.ndarray:
+        """Evaluate a ranking expression to a full-length float array.
+
+        Constant expressions (``ORDER BY 1 + 1``) evaluate to scalars and
+        are broadcast — every row ranks equally.
+        """
+        values = np.asarray(expression.evaluate(self.table), dtype=np.float64)
+        if values.ndim == 0:
+            values = np.full(len(self.table), float(values))
+        return values
+
+    def _filter_mask(self, query: Query) -> np.ndarray:
+        if query.where is None:
+            return np.ones(len(self.table), dtype=bool)
+        mask = np.asarray(query.where.evaluate(self.table)).astype(bool)
+        if mask.ndim == 0:
+            # Constant predicates (WHERE 1 < 2) select all or nothing.
+            mask = np.full(len(self.table), bool(mask))
+        return mask
+
+    def _scan_width(self, query: Query) -> int:
+        """Bytes per input row the query's kernels must read."""
+        referenced: set[str] = set()
+        if query.where is not None:
+            referenced |= query.where.referenced_columns()
+        if query.order_by is not None:
+            referenced |= query.order_by.referenced_columns()
+        for item in query.select:
+            if item.expression is not None:
+                referenced |= item.expression.referenced_columns()
+        if not referenced:
+            referenced = {self.table.column_names[0]}
+        return sum(
+            self.table.column(name).dtype.itemsize for name in referenced
+        )
+
+    def _project(self, query: Query, rows: np.ndarray) -> dict[str, np.ndarray]:
+        columns: dict[str, np.ndarray] = {}
+        for item in query.select:
+            if item.is_count:
+                continue
+            values = item.expression.evaluate(self.table)
+            columns[item.alias] = np.asarray(values)[rows]
+        return columns

@@ -1,0 +1,85 @@
+"""EXPLAIN: per-strategy cost preview and recommendation.
+
+A database exposes its planner's reasoning through EXPLAIN; ours reports,
+for a top-k query, the physical pipeline of each execution strategy with
+its simulated cost at the modeled table size, and recommends the cheapest —
+which, per Section 5, is the fused kernel whenever the query has a filter
+or computed ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import STRATEGIES, QueryExecutor
+from repro.engine.sql import Query, parse
+
+_PIPELINES = {
+    "sort": ["scan + filter/project -> materialize (rank, id)",
+             "radix sort (4 passes)", "gather top-k"],
+    "topk": ["scan + filter/project -> materialize (rank, id)",
+             "bitonic top-k (SortReducer + BitonicReducers)"],
+    "fused": ["FusedSortReducer (scan + filter/rank + local sort + merges)",
+              "BitonicReducers"],
+}
+
+
+@dataclass(frozen=True)
+class StrategyPlan:
+    """One strategy's pipeline and simulated cost."""
+
+    strategy: str
+    pipeline: tuple[str, ...]
+    simulated_ms: float
+    kernel_launches: int
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The EXPLAIN result: all strategies, cheapest first."""
+
+    sql: str
+    model_rows: int
+    strategies: tuple[StrategyPlan, ...]
+
+    @property
+    def recommended(self) -> str:
+        return self.strategies[0].strategy
+
+    def render(self) -> str:
+        """Human-readable EXPLAIN output."""
+        lines = [f"EXPLAIN (model_rows = {self.model_rows:,})", f"  {self.sql}"]
+        for plan in self.strategies:
+            marker = "->" if plan.strategy == self.recommended else "  "
+            lines.append(
+                f"{marker} {plan.strategy:<6} {plan.simulated_ms:9.2f} ms  "
+                f"({plan.kernel_launches} launches)"
+            )
+            for stage in plan.pipeline:
+                lines.append(f"       . {stage}")
+        return "\n".join(lines)
+
+
+def explain(
+    executor: QueryExecutor,
+    sql: str,
+    model_rows: int | None = None,
+) -> QueryPlan:
+    """Cost out every strategy for ``sql`` on the executor's table."""
+    query: Query = parse(sql)
+    model = model_rows or len(executor.table)
+    group_by_strategies = ("sort", "topk")
+    candidates = group_by_strategies if query.group_by else STRATEGIES
+    plans = []
+    for strategy in candidates:
+        result = executor.execute(query, strategy=strategy, model_rows=model)
+        plans.append(
+            StrategyPlan(
+                strategy=strategy,
+                pipeline=tuple(_PIPELINES.get(strategy, ())),
+                simulated_ms=result.simulated_ms(),
+                kernel_launches=result.trace.num_launches,
+            )
+        )
+    plans.sort(key=lambda plan: plan.simulated_ms)
+    return QueryPlan(sql=sql, model_rows=model, strategies=tuple(plans))

@@ -1,0 +1,177 @@
+"""Expression AST and vectorized evaluator.
+
+Covers what the Section 6.8 queries need — column references, numeric and
+string literals, arithmetic (the custom ranking function
+``retweet_count + 0.5 * likes_count``), comparisons (the time-range and
+language filters) and boolean connectives — evaluated column-at-a-time
+with numpy, which mirrors how a GPU database JIT-compiles expressions over
+columnar data.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError, UnsupportedQueryError
+
+
+class Expression(abc.ABC):
+    """Base class for all expression nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Vectorized evaluation over all rows of ``table``."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> set[str]:
+        """Names of the columns the expression reads."""
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """A reference to a table column."""
+
+    name: str
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return table.column(self.name)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A numeric or string constant."""
+
+    value: float | int | str
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        raise UnsupportedQueryError(
+            "a bare literal cannot be evaluated outside a comparison"
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+_ARITHMETIC = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+_COMPARISON = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+_BOOLEAN = {"and": np.logical_and, "or": np.logical_or}
+
+
+def _operand_array(expression: Expression, table: Table) -> np.ndarray | float:
+    if isinstance(expression, Literal):
+        if isinstance(expression.value, str):
+            raise UnsupportedQueryError(
+                "string literals are only valid against string columns"
+            )
+        return expression.value
+    return expression.evaluate(table)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison, or boolean binary operator."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        if self.op in _ARITHMETIC:
+            left = _operand_array(self.left, table)
+            right = _operand_array(self.right, table)
+            return _ARITHMETIC[self.op](left, right)
+        if self.op in _COMPARISON:
+            return self._compare(table)
+        if self.op in _BOOLEAN:
+            left = self.left.evaluate(table).astype(bool)
+            right = self.right.evaluate(table).astype(bool)
+            return _BOOLEAN[self.op](left, right)
+        raise UnsupportedQueryError(f"unsupported operator {self.op!r}")
+
+    def _compare(self, table: Table) -> np.ndarray:
+        # String comparisons resolve the literal through the column's
+        # dictionary so the device-side comparison stays integer-typed.
+        column, literal = None, None
+        if isinstance(self.left, Column) and isinstance(self.right, Literal):
+            column, literal, op = self.left, self.right, self.op
+        elif isinstance(self.right, Column) and isinstance(self.left, Literal):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+            column, literal, op = self.right, self.left, flipped[self.op]
+        else:
+            op = self.op
+        if (
+            column is not None
+            and isinstance(literal.value, str)
+            and table.is_string_column(column.name)
+        ):
+            if op not in ("=", "!="):
+                raise UnsupportedQueryError(
+                    "string columns support only equality predicates"
+                )
+            code = table.encode_string(column.name, literal.value)
+            return _COMPARISON[op](table.column(column.name), code)
+        # Numeric comparison: the flipped operator only applies to the
+        # column-vs-dictionary-code form above; here the operands keep
+        # their original order.
+        left = _operand_array(self.left, table)
+        right = _operand_array(self.right, table)
+        return _COMPARISON[self.op](left, right)
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return np.logical_not(self.operand.evaluate(table).astype(bool))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+def column_width(expression: Expression, table: Table) -> int:
+    """Bytes per row the expression's inputs occupy — the scan cost driver."""
+    return sum(
+        table.column(name).dtype.itemsize
+        for name in expression.referenced_columns()
+    )

@@ -1,0 +1,84 @@
+"""Table ingestion: CSV files and row dictionaries.
+
+A database substrate needs a way in for real data.  The loader infers
+column types the way a columnar engine would at ingest: integer if every
+value parses as one, else float, else dictionary-encoded string — the
+layout :class:`~repro.engine.table.Table` executes on.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.engine.table import Table, make_table
+from repro.errors import InvalidParameterError
+
+
+def _infer_column(values: list[str]) -> np.ndarray | list[str]:
+    """Narrowest type that holds every value: int64 -> float64 -> str."""
+    try:
+        return np.array([int(value) for value in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(value) for value in values], dtype=np.float64)
+    except ValueError:
+        pass
+    return values
+
+
+def from_rows(name: str, rows: Iterable[Mapping[str, object]]) -> Table:
+    """Build a table from an iterable of row dictionaries.
+
+    All rows must share the same keys; column types are taken from the
+    values (numpy handles numerics, strings are dictionary-encoded).
+    """
+    rows = list(rows)
+    if not rows:
+        raise InvalidParameterError("cannot build a table from zero rows")
+    columns = list(rows[0].keys())
+    for index, row in enumerate(rows):
+        if list(row.keys()) != columns:
+            raise InvalidParameterError(
+                f"row {index} has columns {list(row.keys())}, expected {columns}"
+            )
+    data = {column: [row[column] for row in rows] for column in columns}
+    return make_table(name, data)
+
+
+def from_csv_text(name: str, text: str, delimiter: str = ",") -> Table:
+    """Build a table from CSV text with a header row."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise InvalidParameterError("CSV input is empty") from None
+    header = [column.strip() for column in header]
+    if len(set(header)) != len(header):
+        raise InvalidParameterError(f"duplicate column names in header: {header}")
+    rows = [row for row in reader if row]
+    if not rows:
+        raise InvalidParameterError("CSV input has a header but no rows")
+    for index, row in enumerate(rows):
+        if len(row) != len(header):
+            raise InvalidParameterError(
+                f"CSV row {index} has {len(row)} fields, expected {len(header)}"
+            )
+    data = {}
+    for position, column in enumerate(header):
+        data[column] = _infer_column([row[position].strip() for row in rows])
+    return make_table(name, data)
+
+
+def from_csv(name: str, path: str | Path, delimiter: str = ",") -> Table:
+    """Build a table from a CSV file with a header row."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise InvalidParameterError(f"cannot read CSV file {path}: {error}")
+    return from_csv_text(name, text, delimiter)

@@ -1,0 +1,71 @@
+"""Session facade: register tables, run SQL.
+
+    >>> from repro.engine import Session, generate_tweets
+    >>> session = Session()
+    >>> session.register(generate_tweets(1 << 18))
+    >>> result = session.sql(
+    ...     "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50"
+    ... )
+    >>> result.column("id")[:3]
+"""
+
+from __future__ import annotations
+
+from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.sql import parse
+from repro.engine.table import Table
+from repro.errors import UnsupportedQueryError
+from repro.gpu.device import DeviceSpec, get_device
+
+
+class Session:
+    """Holds registered tables and dispatches queries to executors."""
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        flags: OptimizationFlags = FULL,
+    ):
+        self.device = device or get_device()
+        self.flags = flags
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        """Register (or replace) a table by its name."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "(none)"
+            raise UnsupportedQueryError(
+                f"no table named {name!r} registered; tables: {known}"
+            ) from None
+
+    def sql(
+        self,
+        text: str,
+        strategy: str = "fused",
+        model_rows: int | None = None,
+    ) -> QueryResult:
+        """Execute a SQL query.
+
+        ``strategy`` picks the top-k integration ("sort" = MapD default,
+        "topk" = separate bitonic top-k kernel, "fused" = Section 5 fusion);
+        ``model_rows`` scales the execution trace to a larger modeled table
+        (e.g. the paper's 250M tweets).
+        """
+        query = parse(text)
+        executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+        return executor.execute(query, strategy, model_rows)
+
+    def explain(self, text: str, model_rows: int | None = None):
+        """Cost out every execution strategy for a query (see
+        :func:`repro.engine.explain.explain`)."""
+        from repro.engine.explain import explain as explain_query
+
+        query = parse(text)
+        executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+        return explain_query(executor, text, model_rows)

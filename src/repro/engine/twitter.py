@@ -1,0 +1,83 @@
+"""Synthetic twitter dataset (stand-in for the paper's 250M-tweet corpus).
+
+The Section 6.8 queries exercise specific distributional properties, which
+the generator reproduces at any scale:
+
+* ``uid`` — Zipf-skewed over ~23% as many distinct users as tweets (the
+  paper's corpus has 57M unique users over 250M tweets), so the group-by
+  query has a heavy-hitter structure;
+* ``tweet_time`` — uniform over the month, so a time-range predicate's
+  selectivity equals its range fraction (the Figure 16a sweep);
+* ``retweet_count`` / ``likes_count`` — heavy-tailed and positively
+  correlated (popular tweets score high on both), exercising the custom
+  ranking function of query 2;
+* ``lang`` — categorical with English + Spanish at ~80% combined, matching
+  the stated selectivity of query 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distributions import zipf_integers
+from repro.engine.table import Table, make_table
+from repro.errors import InvalidParameterError
+
+#: Language mix: en + es = 0.8, the selectivity quoted for query 3.
+LANGUAGES = ("en", "es", "ja", "pt", "ar", "fr")
+LANGUAGE_WEIGHTS = (0.62, 0.18, 0.08, 0.05, 0.04, 0.03)
+
+#: Distinct users per tweet, matching 57M users / 250M tweets.
+USERS_PER_TWEET = 57 / 250
+
+#: Seconds in May 2017 (the corpus month).
+MAY_2017_START = 1_493_596_800
+MAY_2017_END = 1_496_275_200
+
+
+def generate_tweets(num_rows: int, seed: int = 0) -> Table:
+    """Generate the synthetic tweets table."""
+    if num_rows <= 0:
+        raise InvalidParameterError("num_rows must be positive")
+    rng = np.random.default_rng(seed)
+    num_users = max(1, int(num_rows * USERS_PER_TWEET))
+
+    uid = zipf_integers(num_rows, num_users, skew=1.2, seed=seed + 1)
+    tweet_time = rng.integers(
+        MAY_2017_START, MAY_2017_END, size=num_rows, dtype=np.int64
+    ).astype(np.int32)
+
+    # Heavy-tailed popularity with correlation between retweets and likes.
+    popularity = rng.pareto(1.3, size=num_rows)
+    retweet_count = np.floor(popularity * 3.0).astype(np.int32)
+    likes_noise = rng.pareto(1.5, size=num_rows)
+    likes_count = np.floor(popularity * 4.0 + likes_noise * 2.0).astype(np.int32)
+
+    lang_codes = rng.choice(
+        len(LANGUAGES), size=num_rows, p=np.asarray(LANGUAGE_WEIGHTS)
+    )
+    lang = [LANGUAGES[code] for code in lang_codes]
+
+    return make_table(
+        "tweets",
+        {
+            "id": np.arange(num_rows, dtype=np.int32),
+            "uid": uid,
+            "tweet_time": tweet_time,
+            "retweet_count": retweet_count,
+            "likes_count": likes_count,
+            "lang": lang,
+        },
+    )
+
+
+def time_threshold_for_selectivity(selectivity: float) -> int:
+    """tweet_time bound X such that ``tweet_time < X`` matches the fraction.
+
+    Times are uniform over May 2017, so the threshold interpolates the
+    month linearly — this is how the Figure 16a selectivity sweep sets X.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise InvalidParameterError("selectivity must be in [0, 1]")
+    span = MAY_2017_END - MAY_2017_START
+    return int(MAY_2017_START + selectivity * span)

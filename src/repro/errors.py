@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied an invalid parameter (bad k, bad dtype, ...)."""
+
+
+class ResourceExhaustedError(ReproError, RuntimeError):
+    """A simulated hardware resource was exhausted.
+
+    The canonical example from the paper: the per-thread heap top-k needs
+    ``k * block_size * key_bytes`` bytes of shared memory, which exceeds the
+    48 KiB available per thread block for k > 256 (32-bit keys).
+    """
+
+
+class UnsupportedQueryError(ReproError, ValueError):
+    """The SQL subset parser or engine planner cannot handle a query."""
+
+
+class SqlSyntaxError(UnsupportedQueryError):
+    """The SQL text failed to parse."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The SIMT micro-simulator detected an illegal program behaviour.
+
+    Examples: out-of-bounds shared memory access, missing barrier before a
+    cross-thread read, or a barrier reached by only part of a thread block.
+    """

@@ -1,0 +1,70 @@
+"""GPU execution-model simulator.
+
+The substrate the reproduction runs on: device profiles, hardware counters,
+bank-conflict and coalescing analysis, occupancy, a bandwidth-based timing
+model, and a micro SIMT executor for small-scale validation.
+"""
+
+from repro.gpu.banks import (
+    ChunkShape,
+    chunk_conflict_factor,
+    pad_address,
+    single_step_conflict_factor,
+    strided_access_conflict_factor,
+    warp_conflict_factor,
+)
+from repro.gpu.coalescing import coalescing_efficiency, warp_transactions
+from repro.gpu.counters import ExecutionTrace, KernelCounters
+from repro.gpu.device import (
+    GTX_1080,
+    TITAN_X_MAXWELL,
+    V100,
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+)
+from repro.gpu.occupancy import (
+    BlockResources,
+    bandwidth_derating,
+    blocks_per_sm,
+    occupancy,
+    register_spill_fraction,
+)
+from repro.gpu.timing import (
+    KernelTime,
+    TraceTime,
+    kernel_time,
+    memory_bandwidth_bound,
+    trace_time,
+)
+
+__all__ = [
+    "ChunkShape",
+    "chunk_conflict_factor",
+    "pad_address",
+    "single_step_conflict_factor",
+    "strided_access_conflict_factor",
+    "warp_conflict_factor",
+    "coalescing_efficiency",
+    "warp_transactions",
+    "ExecutionTrace",
+    "KernelCounters",
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "TITAN_X_MAXWELL",
+    "GTX_1080",
+    "V100",
+    "BlockResources",
+    "bandwidth_derating",
+    "blocks_per_sm",
+    "occupancy",
+    "register_spill_fraction",
+    "KernelTime",
+    "TraceTime",
+    "kernel_time",
+    "memory_bandwidth_bound",
+    "trace_time",
+]

@@ -1,0 +1,244 @@
+"""Shared-memory bank-conflict analysis.
+
+GPU shared memory is organized into ``num_banks`` word-wide banks (32 on all
+the paper's hardware).  In one cycle the threads of a warp may each access
+one 4-byte word; accesses to *distinct words in the same bank* serialize,
+while accesses to the *same* word broadcast for free.  The serialization
+multiplier of an access phase is exactly the ``delta_i`` factor in the
+paper's Section 7 cost model term ``delta_i * (D_Ii + D_Oi) / B_S``.
+
+Model layers
+------------
+
+1. :func:`warp_conflict_factor` — the cycle-level primitive: given the word
+   addresses a warp touches in one instruction, the serialization factor
+   (1 = conflict-free, 2 = two-way conflict, ...).
+
+2. **Combined steps** (Section 4.3 "Combining/Sequentializing Multiple
+   Steps").  A combined step groups consecutive bitonic network steps so
+   each thread loads ``B = 2**num_free_bits`` elements into registers,
+   performs all grouped comparisons there, and writes the elements back.
+   The element set a thread owns is described by the set of *free index
+   bits* the group spans (:class:`ChunkShape`): comparison distances
+   ``2**b`` for every ``b`` in the group must be free bits, and extra low
+   bits may be added to fill the register budget (this produces the
+   "multiple contiguous runs at a large distance" shape of the paper's
+   Figure 10).
+
+3. Optimization semantics:
+
+   * **no optimization** — threads walk their elements in lockstep
+     (element ``j`` on cycle ``j``); conflicts computed from the raw
+     addresses.  Contiguous chunks of size B conflict B-way (Figure 6).
+   * **padding** (Figure 7) — logical word ``a`` maps to physical word
+     ``a + a // num_banks`` (one pad word per bank row).  This makes
+     contiguous chunks conflict-free but leaves strided groups conflicted
+     (Figure 10a).
+   * **chunk permutation** (Figure 10b) — the kernel may stagger *which*
+     owned element each thread touches per cycle and relocate chunks, as
+     long as the schedule is a uniform function of the thread id (SIMT
+     executes one instruction for the whole warp).  We model this as the
+     best factor achievable over a family of uniform schedules
+     (identity / rotations / XOR swizzles, each with and without padding).
+     For every group shape arising in the paper's kernels with k <= 256
+     this reaches 1.0, matching the paper's claim that chunk permutation
+     removes all remaining local-sort conflicts for k <= 256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import InvalidParameterError
+
+#: Word size used by the bank mapping (shared memory banks are 4 bytes wide).
+BANK_WORD_BYTES = 4
+
+
+def pad_address(address: int, num_banks: int) -> int:
+    """Physical word address after array padding.
+
+    Viewing shared memory as a 2D array of ``num_banks`` columns, padding
+    allocates ``num_banks + 1`` columns and leaves the extra column unused
+    (the grey cells of the paper's Figure 7).  Logical word ``a`` therefore
+    lands at physical word ``a + a // num_banks``.
+    """
+    return address + address // num_banks
+
+
+def warp_conflict_factor(addresses: Iterable[int], num_banks: int = 32) -> int:
+    """Serialization factor for one warp access.
+
+    ``addresses`` are the word addresses accessed by the active threads of a
+    warp in a single cycle.  The hardware replays the access once per
+    distinct word in the most-contended bank; identical words broadcast.
+    Returns 1 for a conflict-free (or empty) access.
+    """
+    if num_banks <= 0:
+        raise InvalidParameterError("num_banks must be positive")
+    words_per_bank: dict[int, set[int]] = {}
+    for address in addresses:
+        words_per_bank.setdefault(address % num_banks, set()).add(address)
+    if not words_per_bank:
+        return 1
+    return max(len(words) for words in words_per_bank.values())
+
+
+@dataclass(frozen=True)
+class ChunkShape:
+    """The element set owned by each thread during one combined step.
+
+    ``free_bits`` are the index-bit positions enumerated by the thread's
+    private elements; the remaining index bits are taken from the thread
+    id (low thread bits fill the low non-free positions first).  A thread
+    therefore owns ``B = 2**len(free_bits)`` elements.
+
+    Examples:
+
+    * ``ChunkShape((0, 1, 2, 3))`` — a contiguous 16-element chunk, the
+      common case once steps at distances 8, 4, 2, 1 are grouped.
+    * ``ChunkShape((0, 1, 2, 4))`` — two contiguous 8-element runs at
+      distance 16 (the Figure 10 situation).
+    """
+
+    free_bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        bits = tuple(sorted(set(self.free_bits)))
+        if not bits or any(b < 0 for b in bits):
+            raise InvalidParameterError("free_bits must be non-negative and non-empty")
+        object.__setattr__(self, "free_bits", bits)
+
+    @property
+    def elements_per_thread(self) -> int:
+        return 1 << len(self.free_bits)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the owned elements form one contiguous chunk."""
+        return self.free_bits == tuple(range(len(self.free_bits)))
+
+    def covers_distance(self, distance: int) -> bool:
+        """Whether a comparison at ``distance`` stays within one thread."""
+        return distance.bit_length() - 1 in self.free_bits
+
+    def owned_indices(self, thread: int, max_index_bits: int = 20) -> list[int]:
+        """Logical element indices owned by ``thread``."""
+        free = self.free_bits
+        rest = [b for b in range(max_index_bits) if b not in free]
+        base = 0
+        remaining = thread
+        for bit in rest:
+            base |= (remaining & 1) << bit
+            remaining >>= 1
+        indices = []
+        for m in range(1 << len(free)):
+            address = base
+            for position, bit in enumerate(free):
+                address |= ((m >> position) & 1) << bit
+            indices.append(address)
+        return indices
+
+
+def _schedule_family(count: int) -> list[Callable[[int, int], int]]:
+    """Uniform (SIMT-legal) access schedules: element index = f(cycle, thread)."""
+    schedules: list[Callable[[int, int], int]] = [lambda j, t: j]
+    mask = count - 1
+    for rotation in (1, count // 2, max(1, count // 4)):
+        schedules.append(lambda j, t, r=rotation: (j + r * t) % count)
+    schedules.append(lambda j, t: j ^ (t & mask))
+    for shift in (1, 2, 3, 4):
+        schedules.append(lambda j, t, s=shift: j ^ ((t >> s) & mask))
+        schedules.append(lambda j, t, s=shift: (j + (t >> s)) % count)
+    return schedules
+
+
+def _lockstep_factor(
+    shape: ChunkShape,
+    schedule: Callable[[int, int], int],
+    padding: bool,
+    num_banks: int,
+    warp_size: int,
+) -> float:
+    """Average conflict factor of one schedule over all cycles of a warp."""
+    count = shape.elements_per_thread
+    owned = [shape.owned_indices(thread) for thread in range(warp_size)]
+    total = 0
+    for cycle in range(count):
+        addresses = []
+        for thread in range(warp_size):
+            address = owned[thread][schedule(cycle, thread)]
+            if padding:
+                address = pad_address(address, num_banks)
+            addresses.append(address)
+        total += warp_conflict_factor(addresses, num_banks)
+    return total / count
+
+
+@lru_cache(maxsize=4096)
+def chunk_conflict_factor(
+    shape: ChunkShape,
+    padding: bool = False,
+    chunk_permutation: bool = False,
+    num_banks: int = 32,
+    warp_size: int = 32,
+) -> float:
+    """The delta factor for one combined step's shared-memory access phase.
+
+    * Without chunk permutation the kernel walks elements in lockstep
+      (identity schedule); ``padding`` decides the address mapping.
+    * With chunk permutation the kernel is free to stagger accesses and
+      relocate chunks with any uniform schedule; we return the best factor
+      over the schedule family with and without padding (relocation can
+      locally undo padding, so both layouts are available to it).
+    """
+    if not chunk_permutation:
+        return _lockstep_factor(shape, lambda j, t: j, padding, num_banks, warp_size)
+    best = float("inf")
+    for use_padding in (padding, not padding):
+        for schedule in _schedule_family(shape.elements_per_thread):
+            factor = _lockstep_factor(shape, schedule, use_padding, num_banks, warp_size)
+            best = min(best, factor)
+            if best == 1.0:
+                return 1.0
+    return best
+
+
+@lru_cache(maxsize=1024)
+def single_step_conflict_factor(
+    distance: int, num_banks: int = 32, warp_size: int = 32
+) -> float:
+    """Conflict factor for an *uncombined* compare-exchange step.
+
+    One thread handles one comparison pair: thread ``t`` reads elements
+    ``i`` and ``i + distance`` where ``i`` spreads the low thread bits below
+    the distance bit (Algorithm 2 lines 5-6).  We average the factor of the
+    two read cycles (the write pattern is identical).
+    """
+    if distance <= 0 or distance & (distance - 1):
+        raise InvalidParameterError("distance must be a positive power of two")
+    low_mask = distance - 1
+    first = []
+    second = []
+    for thread in range(warp_size):
+        low = thread & low_mask
+        index = ((thread >> (distance.bit_length() - 1)) << distance.bit_length()) | low
+        first.append(index)
+        second.append(index + distance)
+    factor_first = warp_conflict_factor(first, num_banks)
+    factor_second = warp_conflict_factor(second, num_banks)
+    return (factor_first + factor_second) / 2
+
+
+def strided_access_conflict_factor(
+    stride: int, num_banks: int = 32, warp_size: int = 32
+) -> int:
+    """Conflict factor when warp thread ``t`` accesses word ``t * stride``.
+
+    The classical reference model: the factor is ``gcd(stride, num_banks)``
+    for power-of-two strides (capped by the warp size).
+    """
+    addresses = [thread * stride for thread in range(warp_size)]
+    return warp_conflict_factor(addresses, num_banks)

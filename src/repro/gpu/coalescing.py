@@ -1,0 +1,78 @@
+"""Global-memory coalescing analysis.
+
+The device services global loads/stores of a warp in 32-byte (or larger)
+transactions.  When the 32 threads of a warp touch 32 consecutive 4-byte
+words, the access coalesces into the minimum number of transactions; a
+strided or scattered pattern multiplies the number of transactions and thus
+the effective traffic.
+
+The paper's algorithms are written to coalesce (Algorithm 1 iterates with a
+stride of ``num_threads`` precisely for this reason), so in the timing model
+the common case is an efficiency of 1.0.  This module quantifies the
+alternative so tests and the per-thread-variant analysis can show *why* the
+coalesced iteration order matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import InvalidParameterError
+
+#: Size of one global-memory transaction segment in bytes.
+TRANSACTION_BYTES = 32
+
+
+def warp_transactions(
+    byte_addresses: Iterable[int], transaction_bytes: int = TRANSACTION_BYTES
+) -> int:
+    """Number of memory transactions needed to service one warp access.
+
+    ``byte_addresses`` are the starting byte addresses accessed by the
+    active threads (one access each, assumed word-sized).  Accesses falling
+    in the same aligned segment are serviced together.
+    """
+    if transaction_bytes <= 0:
+        raise InvalidParameterError("transaction_bytes must be positive")
+    segments = {address // transaction_bytes for address in byte_addresses}
+    return max(1, len(segments))
+
+
+def coalescing_efficiency(
+    byte_addresses: list[int],
+    word_bytes: int = 4,
+    transaction_bytes: int = TRANSACTION_BYTES,
+) -> float:
+    """Fraction of transferred bytes that the warp actually requested.
+
+    1.0 means perfectly coalesced; ``word_bytes / transaction_bytes`` (an
+    eighth for 4-byte words) means fully scattered.
+    """
+    if not byte_addresses:
+        return 1.0
+    useful = len(byte_addresses) * word_bytes
+    transferred = warp_transactions(byte_addresses, transaction_bytes) * transaction_bytes
+    return min(1.0, useful / transferred)
+
+
+def strided_loop_efficiency(
+    num_threads: int,
+    elements_per_thread: int,
+    word_bytes: int = 4,
+    contiguous_per_thread: bool = False,
+) -> float:
+    """Coalescing efficiency of the two canonical loop orders.
+
+    * ``contiguous_per_thread=False`` — the paper's coalesced pattern:
+      thread ``t`` reads elements ``t, t + nt, t + 2 nt, ...`` so each warp
+      access covers 32 neighbouring elements (efficiency 1.0).
+    * ``contiguous_per_thread=True`` — the naive partitioned pattern:
+      thread ``t`` reads a contiguous range; each warp access scatters over
+      32 distant segments.
+    """
+    warp = 32
+    if not contiguous_per_thread:
+        addresses = [t * word_bytes for t in range(warp)]
+        return coalescing_efficiency(addresses, word_bytes)
+    addresses = [t * elements_per_thread * word_bytes for t in range(warp)]
+    return coalescing_efficiency(addresses, word_bytes)

@@ -1,0 +1,153 @@
+"""Hardware counters collected while executing simulated kernels.
+
+Every algorithm in this library runs *functionally* (numpy produces the real
+top-k) while recording the memory traffic and hazard events the equivalent
+CUDA kernel would generate.  The timing model (:mod:`repro.gpu.timing`)
+converts these counters into simulated seconds on a :class:`~repro.gpu.device.DeviceSpec`.
+
+The counter set follows the quantities the paper's Section 7 cost model is
+built from:
+
+* global bytes read / written (the D/B_G terms),
+* shared memory bytes moved, *weighted* by bank-conflict serialization
+  (the delta_i (D_Ii + D_Oi)/B_S terms),
+* kernel launches,
+* atomic operations (bucket select),
+* warp-divergent iterations (per-thread heap top-k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelCounters:
+    """Traffic and hazard counters for one simulated kernel launch."""
+
+    name: str = "kernel"
+    global_bytes_read: float = 0.0
+    global_bytes_written: float = 0.0
+    #: Shared memory traffic in bytes assuming conflict-free access.
+    shared_bytes: float = 0.0
+    #: Shared memory traffic in bytes after multiplying each access phase by
+    #: its bank-conflict serialization factor delta_i (>= 1).
+    shared_bytes_weighted: float = 0.0
+    atomic_ops: float = 0.0
+    #: Number of warp-serialized iterations caused by divergent branches
+    #: (e.g. heap updates in the per-thread algorithm).  Each costs roughly
+    #: one warp-instruction's worth of time for the whole warp.
+    divergent_iterations: float = 0.0
+    #: Compute work in scalar operations; only matters for kernels that are
+    #: compute-bound (CPU bitonic top-k is; the GPU kernels are not).
+    compute_ops: float = 0.0
+    #: Occupancy in [0, 1]; bandwidth is derated when too few warps are
+    #: resident to saturate the memory system.
+    occupancy: float = 1.0
+    #: Directly modeled seconds (used by the CPU baselines, whose timing is
+    #: computed against a CpuSpec rather than from GPU traffic counters).
+    fixed_seconds: float = 0.0
+
+    @property
+    def global_bytes(self) -> float:
+        """Total global memory traffic of the kernel."""
+        return self.global_bytes_read + self.global_bytes_written
+
+    def add_global_read(self, num_bytes: float) -> None:
+        self.global_bytes_read += num_bytes
+
+    def add_global_write(self, num_bytes: float) -> None:
+        self.global_bytes_written += num_bytes
+
+    def add_shared(self, num_bytes: float, conflict_factor: float = 1.0) -> None:
+        """Record a shared-memory access phase.
+
+        ``conflict_factor`` is the average serialization multiplier for the
+        phase: 1.0 means conflict-free, 2.0 means every warp access was a
+        two-way bank conflict, and so on.
+        """
+        if conflict_factor < 1.0:
+            raise ValueError("conflict factor cannot be below 1")
+        self.shared_bytes += num_bytes
+        self.shared_bytes_weighted += num_bytes * conflict_factor
+
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate another kernel's counters into this one (in place)."""
+        self.global_bytes_read += other.global_bytes_read
+        self.global_bytes_written += other.global_bytes_written
+        self.shared_bytes += other.shared_bytes
+        self.shared_bytes_weighted += other.shared_bytes_weighted
+        self.atomic_ops += other.atomic_ops
+        self.divergent_iterations += other.divergent_iterations
+        self.compute_ops += other.compute_ops
+        self.fixed_seconds += other.fixed_seconds
+
+    def scaled(self, factor: float, name: str | None = None) -> "KernelCounters":
+        """A copy with all traffic counters multiplied by ``factor``.
+
+        Used to extrapolate per-element traffic measured at functional scale
+        to the paper's 2^29-element datasets.
+        """
+        return KernelCounters(
+            name=name or self.name,
+            global_bytes_read=self.global_bytes_read * factor,
+            global_bytes_written=self.global_bytes_written * factor,
+            shared_bytes=self.shared_bytes * factor,
+            shared_bytes_weighted=self.shared_bytes_weighted * factor,
+            atomic_ops=self.atomic_ops * factor,
+            divergent_iterations=self.divergent_iterations * factor,
+            compute_ops=self.compute_ops * factor,
+            occupancy=self.occupancy,
+            fixed_seconds=self.fixed_seconds * factor,
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """An ordered list of kernel launches for one algorithm invocation.
+
+    The trace is the unit the timing model consumes: total simulated time is
+    the sum of per-kernel times plus one launch overhead per kernel.
+    """
+
+    kernels: list[KernelCounters] = field(default_factory=list)
+    #: Free-form annotations recorded by algorithms (heap insert counts,
+    #: per-pass survivor fractions, ...), surfaced in benchmark reports.
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def launch(self, name: str) -> KernelCounters:
+        """Start a new kernel and return its counter object."""
+        counters = KernelCounters(name=name)
+        self.kernels.append(counters)
+        return counters
+
+    def extend(self, other: "ExecutionTrace") -> None:
+        """Append all kernels and notes from another trace."""
+        self.kernels.extend(other.kernels)
+        self.notes.update(other.notes)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def global_bytes(self) -> float:
+        return sum(kernel.global_bytes for kernel in self.kernels)
+
+    @property
+    def shared_bytes(self) -> float:
+        return sum(kernel.shared_bytes for kernel in self.kernels)
+
+    @property
+    def shared_bytes_weighted(self) -> float:
+        return sum(kernel.shared_bytes_weighted for kernel in self.kernels)
+
+    @property
+    def atomic_ops(self) -> float:
+        return sum(kernel.atomic_ops for kernel in self.kernels)
+
+    def scaled(self, factor: float) -> "ExecutionTrace":
+        """A copy of the trace with all kernels scaled by ``factor``."""
+        copy = ExecutionTrace(notes=dict(self.notes))
+        copy.kernels = [kernel.scaled(factor) for kernel in self.kernels]
+        return copy

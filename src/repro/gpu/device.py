@@ -1,0 +1,165 @@
+"""Device specifications for the simulated GPUs.
+
+The paper's evaluation hardware is an NVIDIA GTX Titan X (Maxwell).  Its cost
+model (Section 7) depends on a handful of hardware constants; we capture the
+full set needed by the timing and occupancy models in :class:`DeviceSpec` and
+ship profiles for the paper's card plus two other generations so the cost
+model can answer what-if questions ("where does the crossover move on a
+V100?").
+
+All bandwidth figures are in bytes per second, all sizes in bytes, times in
+seconds, matching SI usage in the paper (251 GB/s global, 2.9 TB/s shared on
+the Titan X Maxwell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of a simulated GPU.
+
+    Attributes mirror the parameters used by the paper's cost model plus the
+    resource limits needed by the occupancy calculator:
+
+    * ``global_bandwidth`` — B_G, achievable global memory bandwidth.
+    * ``shared_bandwidth`` — B_S, aggregate shared memory bandwidth.
+    * ``num_sms`` / ``cores_per_sm`` — compute geometry.
+    * ``warp_size`` — threads per warp (32 on all NVIDIA parts).
+    * ``shared_memory_per_block`` — the 48 KiB limit the paper hits with the
+      per-thread heap algorithm at k >= 512.
+    * ``registers_per_thread_limit`` — register budget before spilling to
+      local memory (Appendix A).
+    * ``kernel_launch_overhead`` — fixed cost per kernel launch; the paper's
+      kernel-fusion optimization exists to amortize this plus intermediate
+      global traffic.
+    * ``atomic_op_cost`` — amortized cost of one global atomic; bucket
+      select's histogram update uses atomics and is slower than radix
+      select's warp-local counting because of it.
+    """
+
+    name: str
+    global_bandwidth: float
+    shared_bandwidth: float
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int = 32
+    shared_memory_per_sm: int = 96 * KIB
+    shared_memory_per_block: int = 48 * KIB
+    shared_memory_banks: int = 32
+    registers_per_sm: int = 65536
+    registers_per_thread_limit: int = 255
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    global_memory_size: int = 12 * 1024 * MIB
+    pcie_bandwidth: float = 12 * GB
+    kernel_launch_overhead: float = 15e-6
+    atomic_op_cost: float = 1.0e-9
+    clock_hz: float = 1.0e9
+    #: Fraction of peak global bandwidth real kernels achieve.  Section 7
+    #: reports the first radix kernel at 9.8 ms against a predicted 8.6 ms,
+    #: i.e. about 88% of peak.
+    global_efficiency: float = 0.878
+    #: Fraction of peak shared bandwidth real kernels achieve.  Section 7
+    #: reports the SortReducer at 2.5 TB/s against the 2.9 TB/s peak.
+    shared_efficiency: float = 0.862
+
+    def __post_init__(self) -> None:
+        if self.global_bandwidth <= 0 or self.shared_bandwidth <= 0:
+            raise InvalidParameterError("bandwidths must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise InvalidParameterError("warp_size must be a power of two")
+        if self.shared_memory_banks <= 0:
+            raise InvalidParameterError("shared_memory_banks must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA-core count across all SMs."""
+        return self.num_sms * self.cores_per_sm
+
+    def global_read_time(self, num_bytes: float) -> float:
+        """Seconds to stream ``num_bytes`` from global memory at B_G."""
+        return num_bytes / self.global_bandwidth
+
+    def shared_access_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` through shared memory at B_S."""
+        return num_bytes / self.shared_bandwidth
+
+    def pcie_transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` over PCIe (host <-> device)."""
+        return num_bytes / self.pcie_bandwidth
+
+
+#: The paper's evaluation GPU (Section 6.1 / Section 7): B_S = 2.9 TB/s and
+#: B_G = 251 GB/s are the empirically measured figures quoted in Section 7.
+TITAN_X_MAXWELL = DeviceSpec(
+    name="titan-x-maxwell",
+    global_bandwidth=251 * GB,
+    shared_bandwidth=2.9 * TB,
+    num_sms=24,
+    cores_per_sm=128,
+    shared_memory_per_sm=96 * KIB,
+    shared_memory_per_block=48 * KIB,
+    global_memory_size=12 * 1024 * MIB,
+    clock_hz=1.0e9,
+)
+
+#: A Pascal-generation profile for what-if analysis.
+GTX_1080 = DeviceSpec(
+    name="gtx-1080",
+    global_bandwidth=320 * GB,
+    shared_bandwidth=3.5 * TB,
+    num_sms=20,
+    cores_per_sm=128,
+    global_memory_size=8 * 1024 * MIB,
+    clock_hz=1.6e9,
+)
+
+#: A Volta-generation profile for what-if analysis.
+V100 = DeviceSpec(
+    name="v100",
+    global_bandwidth=900 * GB,
+    shared_bandwidth=13.8 * TB,
+    num_sms=80,
+    cores_per_sm=64,
+    shared_memory_per_block=96 * KIB,
+    global_memory_size=16 * 1024 * MIB,
+    clock_hz=1.37e9,
+)
+
+_DEVICES = {spec.name: spec for spec in (TITAN_X_MAXWELL, GTX_1080, V100)}
+
+
+def get_device(name: str = "titan-x-maxwell") -> DeviceSpec:
+    """Look up a device profile by name.
+
+    Raises :class:`InvalidParameterError` for unknown names, listing the
+    available profiles in the message.
+    """
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES))
+        raise InvalidParameterError(
+            f"unknown device {name!r}; available: {known}"
+        ) from None
+
+
+def list_devices() -> list[str]:
+    """Names of all registered device profiles."""
+    return sorted(_DEVICES)
+
+
+def register_device(spec: DeviceSpec) -> None:
+    """Register a custom device profile (overwrites an existing name)."""
+    _DEVICES[spec.name] = spec

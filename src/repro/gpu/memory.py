@@ -1,0 +1,163 @@
+"""Simulated memories for the micro SIMT executor.
+
+These classes back :mod:`repro.gpu.simt`, the small functional simulator we
+use to *validate* the analytical traffic and bank-conflict models at small
+problem sizes.  They store real values (so simulated kernels compute real
+results) while auditing every access:
+
+* :class:`SharedMemory` — banked storage; accesses from the threads of a
+  warp are aligned by their per-epoch instruction slot (SIMT threads execute
+  the same instruction stream, so the i-th shared access of each thread in
+  an epoch belongs to the same warp instruction) and bank conflicts are
+  counted per aligned slot with :func:`repro.gpu.banks.warp_conflict_factor`.
+* :class:`GlobalMemory` — flat storage; warp accesses are coalesced into
+  32-byte transactions with :func:`repro.gpu.coalescing.warp_transactions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.gpu.banks import warp_conflict_factor
+from repro.gpu.coalescing import warp_transactions
+
+
+@dataclass
+class MemoryStats:
+    """Access statistics accumulated by a simulated memory."""
+
+    reads: int = 0
+    writes: int = 0
+    #: Warp-level access slots observed (each costs at least one cycle).
+    access_slots: int = 0
+    #: Total serialized cycles including bank-conflict replays.
+    serialized_cycles: int = 0
+    #: Global-memory transactions issued (32-byte segments).
+    transactions: int = 0
+
+    @property
+    def conflict_cycles(self) -> int:
+        """Extra cycles caused purely by bank conflicts."""
+        return self.serialized_cycles - self.access_slots
+
+    @property
+    def average_conflict_factor(self) -> float:
+        """Mean serialization factor over all warp access slots."""
+        if self.access_slots == 0:
+            return 1.0
+        return self.serialized_cycles / self.access_slots
+
+
+class SharedMemory:
+    """Banked shared memory for one simulated thread block.
+
+    Threads record accesses through :meth:`read` / :meth:`write`; the
+    executor calls :meth:`flush_epoch` at every barrier to align accesses
+    into warp instructions and count conflicts.
+    """
+
+    def __init__(self, num_words: int, num_banks: int = 32, warp_size: int = 32):
+        self._data: list[float] = [0.0] * num_words
+        self._num_banks = num_banks
+        self._warp_size = warp_size
+        self.stats = MemoryStats()
+        # (thread, slot, address) tuples of the current epoch.
+        self._pending: list[tuple[int, int, int]] = []
+        self._slot_counter: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._data):
+            raise SimulationError(
+                f"shared memory access out of bounds: {address} "
+                f"(size {len(self._data)})"
+            )
+
+    def _record(self, thread: int, address: int) -> None:
+        slot = self._slot_counter.get(thread, 0)
+        self._slot_counter[thread] = slot + 1
+        self._pending.append((thread, slot, address))
+
+    def read(self, thread: int, address: int) -> float:
+        self._check(address)
+        self._record(thread, address)
+        self.stats.reads += 1
+        return self._data[address]
+
+    def write(self, thread: int, address: int, value: float) -> None:
+        self._check(address)
+        self._record(thread, address)
+        self.stats.writes += 1
+        self._data[address] = value
+
+    def flush_epoch(self) -> None:
+        """Align the epoch's accesses into warp instructions and audit them."""
+        slots: dict[tuple[int, int], list[int]] = {}
+        for thread, slot, address in self._pending:
+            warp = thread // self._warp_size
+            slots.setdefault((warp, slot), []).append(address)
+        for addresses in slots.values():
+            factor = warp_conflict_factor(addresses, self._num_banks)
+            self.stats.access_slots += 1
+            self.stats.serialized_cycles += factor
+        self._pending.clear()
+        self._slot_counter.clear()
+
+
+class GlobalMemory:
+    """Flat global memory with coalescing audit."""
+
+    def __init__(self, data: list[float], word_bytes: int = 4, warp_size: int = 32):
+        self._data = list(data)
+        self._word_bytes = word_bytes
+        self._warp_size = warp_size
+        self.stats = MemoryStats()
+        self._pending: list[tuple[int, int, int]] = []
+        self._slot_counter: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> list[float]:
+        """Copy of the current memory contents."""
+        return list(self._data)
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._data):
+            raise SimulationError(
+                f"global memory access out of bounds: {address} "
+                f"(size {len(self._data)})"
+            )
+
+    def _record(self, thread: int, address: int) -> None:
+        slot = self._slot_counter.get(thread, 0)
+        self._slot_counter[thread] = slot + 1
+        self._pending.append((thread, slot, address))
+
+    def read(self, thread: int, address: int) -> float:
+        self._check(address)
+        self._record(thread, address)
+        self.stats.reads += 1
+        return self._data[address]
+
+    def write(self, thread: int, address: int, value: float) -> None:
+        self._check(address)
+        self._record(thread, address)
+        self.stats.writes += 1
+        self._data[address] = value
+
+    def flush_epoch(self) -> None:
+        """Coalesce the epoch's accesses into transactions."""
+        slots: dict[tuple[int, int], list[int]] = {}
+        for thread, slot, address in self._pending:
+            warp = thread // self._warp_size
+            slots.setdefault((warp, slot), []).append(address)
+        for addresses in slots.values():
+            byte_addresses = [a * self._word_bytes for a in addresses]
+            self.stats.access_slots += 1
+            self.stats.transactions += warp_transactions(byte_addresses)
+        self._pending.clear()
+        self._slot_counter.clear()

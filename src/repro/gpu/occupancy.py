@@ -1,0 +1,107 @@
+"""Occupancy model.
+
+Occupancy is the ratio of resident warps to the maximum the SM supports.
+Kernels need enough resident warps to hide memory latency; when shared
+memory or register usage limits residency, effective memory bandwidth
+drops.  Two of the paper's observations hinge on this:
+
+* The per-thread heap top-k keeps ``k`` keys per thread in shared memory,
+  so occupancy collapses as k grows (the steep slope from k = 32 in
+  Figure 11a) and the algorithm *fails outright* for k > 256 with 32-bit
+  keys because one block would need more than 48 KiB (Section 4.1).
+* Processing more than 16 elements per thread in bitonic top-k forces the
+  compiler to cut occupancy via register pressure, which is why B = 16 is
+  the sweet spot (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError, ResourceExhaustedError
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Per-thread-block resource usage of a kernel."""
+
+    threads: int
+    shared_memory_bytes: int = 0
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise InvalidParameterError("threads must be positive")
+        if self.shared_memory_bytes < 0 or self.registers_per_thread < 0:
+            raise InvalidParameterError("resource usage cannot be negative")
+
+
+def blocks_per_sm(device: DeviceSpec, resources: BlockResources) -> int:
+    """Resident blocks per SM under all three resource limits.
+
+    Raises :class:`ResourceExhaustedError` if even a single block cannot be
+    scheduled (the paper's per-thread top-k failure mode for k >= 512).
+    """
+    if resources.threads > device.max_threads_per_block:
+        raise ResourceExhaustedError(
+            f"block of {resources.threads} threads exceeds the device limit "
+            f"of {device.max_threads_per_block}"
+        )
+    if resources.shared_memory_bytes > device.shared_memory_per_block:
+        raise ResourceExhaustedError(
+            f"block needs {resources.shared_memory_bytes} B of shared memory "
+            f"but only {device.shared_memory_per_block} B is available per block"
+        )
+    limits = [device.max_blocks_per_sm, device.max_threads_per_sm // resources.threads]
+    if resources.shared_memory_bytes > 0:
+        limits.append(device.shared_memory_per_sm // resources.shared_memory_bytes)
+    block_registers = resources.registers_per_thread * resources.threads
+    if block_registers > 0:
+        limits.append(device.registers_per_sm // block_registers)
+    resident = min(limits)
+    if resident < 1:
+        raise ResourceExhaustedError(
+            "kernel resource usage prevents any block from being resident"
+        )
+    return resident
+
+
+def occupancy(device: DeviceSpec, resources: BlockResources) -> float:
+    """Resident warps / maximum warps, in (0, 1]."""
+    resident_blocks = blocks_per_sm(device, resources)
+    warps_per_block = -(-resources.threads // device.warp_size)
+    max_warps = device.max_threads_per_sm // device.warp_size
+    return min(1.0, resident_blocks * warps_per_block / max_warps)
+
+
+def bandwidth_derating(occupancy_value: float, saturation: float = 0.25) -> float:
+    """Fraction of peak memory bandwidth achievable at a given occupancy.
+
+    Memory bandwidth saturates once enough warps are in flight; below the
+    saturation point achievable bandwidth falls roughly linearly (a standard
+    simplification of the latency-hiding model).  ``saturation`` is the
+    occupancy needed to reach peak — 0.25 (16 of 64 warps) matches the
+    Maxwell-generation rule of thumb.
+    """
+    if not 0.0 < occupancy_value <= 1.0:
+        raise InvalidParameterError("occupancy must be in (0, 1]")
+    if occupancy_value >= saturation:
+        return 1.0
+    return occupancy_value / saturation
+
+
+def register_spill_fraction(
+    registers_needed: int, registers_available: int = 255
+) -> float:
+    """Fraction of a thread's private array that spills to local memory.
+
+    Used by the Appendix A register-based per-thread top-k model: once the
+    buffer no longer fits in registers, the spilled fraction lives in slow
+    off-chip local memory.
+    """
+    if registers_needed <= 0:
+        raise InvalidParameterError("registers_needed must be positive")
+    if registers_needed <= registers_available:
+        return 0.0
+    return (registers_needed - registers_available) / registers_needed

@@ -1,0 +1,156 @@
+"""Micro SIMT executor.
+
+Executes a kernel *functionally*, one Python generator per thread, with
+cooperative ``__syncthreads()`` barriers (``yield``) — the smallest model
+that preserves the two properties we need for validating the analytical
+models:
+
+* real data flow (kernels compute real answers, so correctness of the small
+  bitonic kernels can be asserted against numpy), and
+* faithful access auditing (bank conflicts / coalescing are measured from
+  the actual addresses the kernel touches, via the epoch-alignment scheme
+  in :mod:`repro.gpu.memory`).
+
+It is intentionally small-scale: Python-per-thread execution is thousands of
+times slower than hardware, so the large-n algorithm implementations in
+:mod:`repro.algorithms` and :mod:`repro.bitonic` run vectorized instead and
+derive their counters analytically.  Tests cross-check the two.
+
+Kernel protocol
+---------------
+
+A kernel is a generator function ``kernel(ctx)`` where ``ctx`` is a
+:class:`ThreadContext`.  ``yield`` is ``__syncthreads()``: every live thread
+must reach it (a partial barrier raises :class:`SimulationError`, mirroring
+the real deadlock).  Example::
+
+    def reverse_kernel(ctx):
+        value = ctx.shared.read(ctx.thread_id, ctx.thread_id)
+        yield
+        ctx.shared.write(ctx.thread_id, len(ctx.block) - 1 - ctx.thread_id, value)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread view handed to a kernel."""
+
+    thread_id: int
+    block: "ThreadBlock"
+
+    @property
+    def block_size(self) -> int:
+        return self.block.num_threads
+
+    @property
+    def shared(self) -> SharedMemory:
+        return self.block.shared
+
+    @property
+    def global_memory(self) -> GlobalMemory:
+        if self.block.global_memory is None:
+            raise SimulationError("kernel has no global memory bound")
+        return self.block.global_memory
+
+    # Convenience wrappers so kernels read naturally.
+    def shared_read(self, address: int) -> float:
+        return self.block.shared.read(self.thread_id, address)
+
+    def shared_write(self, address: int, value: float) -> None:
+        self.block.shared.write(self.thread_id, address, value)
+
+    def global_read(self, address: int) -> float:
+        return self.global_memory.read(self.thread_id, address)
+
+    def global_write(self, address: int, value: float) -> None:
+        self.global_memory.write(self.thread_id, address, value)
+
+
+Kernel = Callable[[ThreadContext], Generator[None, None, None]]
+
+
+class ThreadBlock:
+    """One simulated thread block with its shared memory."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        shared_words: int = 0,
+        global_memory: GlobalMemory | None = None,
+        num_banks: int = 32,
+        warp_size: int = 32,
+    ):
+        if num_threads <= 0:
+            raise SimulationError("a thread block needs at least one thread")
+        self.num_threads = num_threads
+        self.warp_size = warp_size
+        self.shared = SharedMemory(shared_words, num_banks, warp_size)
+        self.global_memory = global_memory
+        self.barriers_executed = 0
+
+    def __len__(self) -> int:
+        return self.num_threads
+
+    def run(self, kernel: Kernel) -> None:
+        """Execute ``kernel`` for every thread to completion.
+
+        Threads advance in lockstep between barriers.  All threads must hit
+        the same number of barriers; a thread finishing while others still
+        wait at a barrier is the classic ``__syncthreads()`` divergence bug
+        and raises :class:`SimulationError`.
+        """
+        threads = [kernel(ThreadContext(tid, self)) for tid in range(self.num_threads)]
+        live = list(range(self.num_threads))
+        while live:
+            finished: list[int] = []
+            waiting: list[int] = []
+            for tid in live:
+                try:
+                    next(threads[tid])
+                    waiting.append(tid)
+                except StopIteration:
+                    finished.append(tid)
+            self._flush()
+            if waiting and finished:
+                raise SimulationError(
+                    f"barrier divergence: threads {waiting[:4]}... reached a "
+                    f"barrier that threads {finished[:4]}... never will"
+                )
+            if waiting:
+                self.barriers_executed += 1
+            live = waiting
+
+    def _flush(self) -> None:
+        self.shared.flush_epoch()
+        if self.global_memory is not None:
+            self.global_memory.flush_epoch()
+
+
+def run_grid(
+    kernel_factory: Callable[[int], Kernel],
+    num_blocks: int,
+    threads_per_block: int,
+    global_memory: GlobalMemory,
+    shared_words: int = 0,
+) -> list[ThreadBlock]:
+    """Run a grid of blocks sequentially (blocks are independent on a GPU).
+
+    ``kernel_factory(block_id)`` returns the kernel to run for that block.
+    Returns the executed blocks so callers can inspect per-block statistics.
+    """
+    blocks = []
+    for block_id in range(num_blocks):
+        block = ThreadBlock(
+            threads_per_block, shared_words=shared_words, global_memory=global_memory
+        )
+        block.run(kernel_factory(block_id))
+        blocks.append(block)
+    return blocks

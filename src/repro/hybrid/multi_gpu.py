@@ -1,0 +1,123 @@
+"""Data-parallel top-k over multiple GPUs.
+
+The conclusion's "multiple devices" direction, taken to homogeneous and
+heterogeneous GPU groups: partition the input across the devices in
+proportion to their modeled throughput, reduce each partition to its local
+top-k concurrently, gather the ``k * devices`` candidates over PCIe, and
+finish with one tiny reduction on the first device.
+
+Scaling behaviour the model exposes (and the tests pin down):
+
+* with homogeneous devices the speedup is nearly linear in the device
+  count — top-k is reduction-friendly, the gather moves only k values per
+  device;
+* with heterogeneous devices, throughput-proportional splitting equalizes
+  finish times, so adding a slower card still helps instead of dragging
+  the fast one down to its pace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import TopKResult, validate_topk_args
+from repro.bitonic.topk import BitonicTopK
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.errors import InvalidParameterError
+from repro.gpu.counters import ExecutionTrace
+from repro.gpu.device import DeviceSpec, get_device
+
+
+@dataclass(frozen=True)
+class DeviceShare:
+    """One device's slice of the work."""
+
+    device: DeviceSpec
+    fraction: float
+    seconds: float
+
+
+class MultiGpuTopK:
+    """Top-k split across a group of (possibly heterogeneous) GPUs."""
+
+    def __init__(self, devices: list[DeviceSpec] | None = None):
+        if devices is None:
+            devices = [get_device(), get_device()]
+        if not devices:
+            raise InvalidParameterError("at least one device is required")
+        self.devices = list(devices)
+
+    def plan_shares(self, n: int, k: int, dtype: np.dtype) -> list[DeviceShare]:
+        """Throughput-proportional split with equalized finish times."""
+        if n <= 0 or k <= 0:
+            raise InvalidParameterError("n and k must be positive")
+        dtype = np.dtype(dtype)
+        probe = max(n, 1 << 22)
+        per_element = [
+            BitonicModel(device).predict_seconds(probe, min(k, 2048), dtype) / probe
+            for device in self.devices
+        ]
+        throughput = [1.0 / cost for cost in per_element]
+        total = sum(throughput)
+        shares = []
+        for device, speed, cost in zip(self.devices, throughput, per_element):
+            fraction = speed / total
+            shares.append(
+                DeviceShare(
+                    device=device,
+                    fraction=fraction,
+                    seconds=fraction * n * cost,
+                )
+            )
+        return shares
+
+    def run(
+        self, data: np.ndarray, k: int, model_n: int | None = None
+    ) -> TopKResult:
+        validate_topk_args(data, k)
+        n = len(data)
+        model = model_n or n
+        shares = self.plan_shares(model, k, data.dtype)
+
+        boundaries = np.cumsum(
+            [0] + [int(round(share.fraction * n)) for share in shares]
+        )
+        boundaries[-1] = n
+        candidate_values: list[np.ndarray] = []
+        candidate_rows: list[np.ndarray] = []
+        for share, start, stop in zip(shares, boundaries, boundaries[1:]):
+            slice_ = data[start:stop]
+            if len(slice_) == 0:
+                continue
+            local_k = min(k, len(slice_))
+            result = BitonicTopK(share.device).run(slice_, local_k)
+            candidate_values.append(result.values)
+            candidate_rows.append(result.indices + start)
+        values = np.concatenate(candidate_values)
+        rows = np.concatenate(candidate_rows)
+        order = np.argsort(values, kind="stable")[::-1][:k]
+
+        first = self.devices[0]
+        trace = ExecutionTrace()
+        concurrent = trace.launch("multi-gpu-concurrent")
+        concurrent.fixed_seconds = max(share.seconds for share in shares)
+        gather = trace.launch("multi-gpu-gather")
+        gather_bytes = float(len(self.devices) * k) * data.dtype.itemsize
+        gather.fixed_seconds = gather_bytes / first.pcie_bandwidth
+        reduce = trace.launch("multi-gpu-reduce")
+        reduce.add_global_read(gather_bytes)
+        reduce.add_global_write(float(k) * data.dtype.itemsize)
+        trace.notes["devices"] = len(self.devices)
+        for index, share in enumerate(shares):
+            trace.notes[f"fraction_{index}"] = share.fraction
+        return TopKResult(
+            values=values[order].copy(),
+            indices=rows[order].copy(),
+            trace=trace,
+            algorithm=f"multi-gpu-{len(self.devices)}",
+            k=k,
+            n=n,
+            model_n=model,
+        )

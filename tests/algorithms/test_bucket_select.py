@@ -1,0 +1,93 @@
+"""Tests for bucket-select top-k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.bucket_select import BucketSelectTopK
+from repro.data.distributions import bucket_killer, uniform_floats
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(10, 2), (1000, 32), (5000, 500)])
+    def test_matches_reference(self, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = BucketSelectTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    def test_negative_values(self, rng):
+        data = (rng.standard_normal(3000) * 50).astype(np.float32)
+        result = BucketSelectTopK().run(data, 40)
+        expected, _ = reference_topk(data, 40)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+    def test_all_equal_input_terminates(self):
+        data = np.full(1000, 3.25, dtype=np.float32)
+        result = BucketSelectTopK().run(data, 10)
+        assert (result.values == 3.25).all()
+        assert len(np.unique(result.indices)) == 10
+
+    def test_skewed_duplicates(self):
+        data = np.ones(2000, dtype=np.float32)
+        data[7] = 5.0
+        result = BucketSelectTopK().run(data, 3)
+        assert result.values[0] == 5.0
+        assert (result.values[1:] == 1.0).all()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random(self, seed):
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(2, 500))
+        k = int(generator.integers(1, n + 1))
+        data = generator.random(n).astype(np.float32)
+        result = BucketSelectTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestCostBehaviour:
+    def test_k_equals_one_stops_after_minmax(self, device, rng):
+        """Section 6.2: at k = 1 bucket select returns right after the
+        min/max pass."""
+        data = rng.random(4096).astype(np.float32)
+        result = BucketSelectTopK(device).run(data, 1, model_n=1 << 29)
+        assert result.trace.num_launches == 1
+        assert result.values[0] == data.max()
+
+    def test_atomics_charged_per_element(self, rng):
+        result = BucketSelectTopK().run(
+            uniform_floats(1 << 14), 64, model_n=1 << 29
+        )
+        assert result.trace.atomic_ops >= 1 << 29
+
+    def test_slower_than_radix_select_on_uniform(self, device):
+        """Figure 11a: atomic counting makes bucket select the slower of
+        the two selection methods."""
+        from repro.algorithms.radix_select import RadixSelectTopK
+
+        data = uniform_floats(1 << 14)
+        bucket = BucketSelectTopK(device).run(data, 64, model_n=1 << 29)
+        radix = RadixSelectTopK(device).run(data, 64, model_n=1 << 29)
+        assert (
+            bucket.simulated_time(device).total
+            > radix.simulated_time(device).total
+        )
+
+    def test_bucket_killer_slowdown_about_2x(self, device):
+        """Figure 12b: the adversarial distribution costs roughly 2-3x."""
+        uniform = BucketSelectTopK(device).run(
+            uniform_floats(1 << 14), 64, model_n=1 << 29
+        )
+        killer = BucketSelectTopK(device).run(
+            bucket_killer(1 << 14), 64, model_n=1 << 29
+        )
+        ratio = (
+            killer.simulated_time(device).total
+            / uniform.simulated_time(device).total
+        )
+        assert 1.5 < ratio < 4.0

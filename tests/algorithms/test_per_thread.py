@@ -1,0 +1,132 @@
+"""Tests for the per-thread heap top-k, including lockstep-engine validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.per_thread import PerThreadTopK, lockstep_topk
+from repro.cpu.pq_topk import heap_topk_stream
+from repro.data.distributions import decreasing, increasing, uniform_floats
+from repro.errors import ResourceExhaustedError
+
+
+class TestLockstepEngine:
+    def test_single_thread_matches_real_heap(self, rng):
+        """The state-matrix engine makes the same insert decisions as a
+        real min-heap (decisions depend only on the running minimum)."""
+        data = rng.random(500).astype(np.float32)
+        state, _, stats = lockstep_topk(data, 16, num_threads=1)
+        heap_values, heap_inserts = heap_topk_stream(data, 16)
+        assert np.array_equal(np.sort(state[0]), np.sort(heap_values))
+        assert stats.inserts == heap_inserts
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_insert_counts_match_heap_for_any_stream(self, seed):
+        data = np.random.default_rng(seed).random(200).astype(np.float32)
+        _, _, stats = lockstep_topk(data, 8, num_threads=1)
+        _, heap_inserts = heap_topk_stream(data, 8)
+        assert stats.inserts == heap_inserts
+
+    def test_increasing_stream_inserts_every_element(self):
+        data = increasing(300)
+        _, _, stats = lockstep_topk(data, 16, num_threads=1)
+        assert stats.inserts == 300
+
+    def test_decreasing_stream_inserts_only_warmup(self):
+        data = decreasing(300)
+        _, _, stats = lockstep_topk(data, 16, num_threads=1)
+        assert stats.inserts == 16
+
+    def test_strided_assignment(self, rng):
+        """Thread t sees elements t, t + nt, ... (the coalesced order)."""
+        data = np.arange(64, dtype=np.float32)
+        state, state_indices, _ = lockstep_topk(data, 2, num_threads=4)
+        # Thread 0's stream is 0, 4, 8, ..., 60 -> top-2 are 60 and 56.
+        assert set(state[0]) == {60.0, 56.0}
+        assert set(state_indices[0]) == {60, 56}
+
+    def test_warp_events_bounded_by_steps(self, rng):
+        data = rng.random(4096).astype(np.float32)
+        _, _, stats = lockstep_topk(data, 8, num_threads=64)
+        warps = 2  # 64 threads / 32
+        assert stats.warp_insert_events <= stats.steps * warps
+
+    def test_short_streams_fill_partially(self):
+        data = np.array([5.0, 3.0], dtype=np.float32)
+        state, state_indices, _ = lockstep_topk(data, 4, num_threads=1)
+        valid = state_indices[0] >= 0
+        assert set(state[0][valid]) == {5.0, 3.0}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(50, 3), (1000, 32), (10000, 128)])
+    def test_matches_reference(self, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = PerThreadTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    def test_duplicates(self, rng):
+        data = rng.integers(0, 5, 2000).astype(np.int32)
+        result = PerThreadTopK().run(data, 64)
+        expected, _ = reference_topk(data, 64)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestResourceLimits:
+    """Section 4.1: shared memory bounds k."""
+
+    def test_floats_fail_past_384(self, device):
+        algorithm = PerThreadTopK(device)
+        assert algorithm.supports(1 << 20, 256, np.dtype(np.float32))
+        assert not algorithm.supports(1 << 20, 512, np.dtype(np.float32))
+
+    def test_doubles_fail_past_192(self, device):
+        algorithm = PerThreadTopK(device)
+        assert algorithm.supports(1 << 20, 128, np.dtype(np.float64))
+        assert not algorithm.supports(1 << 20, 256, np.dtype(np.float64))
+
+    def test_running_beyond_capacity_raises(self, rng):
+        data = rng.random(4096).astype(np.float32)
+        with pytest.raises(ResourceExhaustedError):
+            PerThreadTopK().run(data, 512)
+
+
+class TestCostBehaviour:
+    def test_occupancy_drops_with_k(self, device, rng):
+        data = rng.random(1 << 14).astype(np.float32)
+        algorithm = PerThreadTopK(device)
+        small = algorithm.run(data, 8, model_n=1 << 29)
+        large = algorithm.run(data, 256, model_n=1 << 29)
+        assert (
+            large.trace.kernels[0].occupancy < small.trace.kernels[0].occupancy
+        )
+
+    def test_steep_slope_past_32(self, device, rng):
+        """Figure 11a: occupancy + divergence kick in beyond k = 32."""
+        data = rng.random(1 << 14).astype(np.float32)
+        algorithm = PerThreadTopK(device)
+        at_32 = algorithm.run(data, 32, model_n=1 << 29).simulated_time(device)
+        at_256 = algorithm.run(data, 256, model_n=1 << 29).simulated_time(device)
+        assert at_256.total > 3 * at_32.total
+
+    def test_increasing_distribution_hurts(self, device):
+        """Figure 12a: sorted input makes every element update the heap."""
+        k = 32
+        algorithm = PerThreadTopK(device)
+        uniform = algorithm.run(
+            uniform_floats(1 << 14), k, model_n=1 << 29
+        ).simulated_time(device)
+        sorted_input = algorithm.run(
+            increasing(1 << 14), k, model_n=1 << 29
+        ).simulated_time(device)
+        assert 1.3 < sorted_input.total / uniform.total < 4.0
+
+    def test_trace_notes_record_inserts(self, rng):
+        result = PerThreadTopK().run(uniform_floats(1 << 12), 16, model_n=1 << 24)
+        assert result.trace.notes["inserts"] > 0
+        assert result.trace.notes["warp_insert_events"] > 0

@@ -1,0 +1,81 @@
+"""Tests for the Appendix A register-based per-thread top-k."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.per_thread import PerThreadTopK
+from repro.algorithms.per_thread_registers import PerThreadRegisterTopK
+from repro.data.distributions import decreasing, increasing, uniform_floats
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(100, 4), (5000, 32), (5000, 600)])
+    def test_matches_reference(self, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = PerThreadRegisterTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+    def test_no_capacity_failure(self, device):
+        """Unlike the shared-memory variant, the register variant degrades
+        instead of failing (the buffer spills to local memory)."""
+        algorithm = PerThreadRegisterTopK(device)
+        assert algorithm.supports(1 << 20, 1024, np.dtype(np.float32))
+
+
+class TestSpillBehaviour:
+    def test_no_spill_at_small_k(self, rng):
+        result = PerThreadRegisterTopK().run(
+            uniform_floats(1 << 12), 16, model_n=1 << 24
+        )
+        assert result.trace.notes["spill_fraction"] == 0.0
+
+    def test_spill_from_64(self, rng):
+        result = PerThreadRegisterTopK().run(
+            uniform_floats(1 << 12), 64, model_n=1 << 24
+        )
+        assert result.trace.notes["spill_fraction"] > 0.0
+
+    def test_sharp_slope_between_32_and_64(self, device):
+        """Figure 18: the spill onset produces the visible knee."""
+        data = uniform_floats(1 << 14)
+        algorithm = PerThreadRegisterTopK(device)
+        at_32 = algorithm.run(data, 32, model_n=1 << 29).simulated_time(device)
+        at_64 = algorithm.run(data, 64, model_n=1 << 29).simulated_time(device)
+        at_16 = algorithm.run(data, 16, model_n=1 << 29).simulated_time(device)
+        knee = (at_64.total / at_32.total) / max(at_32.total / at_16.total, 1e-9)
+        assert knee > 1.2
+
+
+class TestVersusSharedMemoryVariant:
+    def test_gap_widens_on_increasing_input(self, device):
+        """Figure 18: list updates cost k, heap updates cost log k, so the
+        register variant falls behind the most when every element inserts."""
+        k = 64
+        registers = PerThreadRegisterTopK(device)
+        shared = PerThreadTopK(device)
+
+        def gap(data):
+            register_time = registers.run(data, k, model_n=1 << 29)
+            shared_time = shared.run(data, k, model_n=1 << 29)
+            return (
+                register_time.simulated_time(device).total
+                / shared_time.simulated_time(device).total
+            )
+
+        assert gap(increasing(1 << 14)) > gap(uniform_floats(1 << 14))
+
+    def test_gap_closes_on_decreasing_input(self, device):
+        """No updates after warm-up: both variants are scan-bound."""
+        k = 32
+        data = decreasing(1 << 14)
+        register_result = PerThreadRegisterTopK(device).run(
+            data, k, model_n=1 << 29
+        )
+        shared_result = PerThreadTopK(device).run(data, k, model_n=1 << 29)
+        ratio = (
+            register_result.simulated_time(device).total
+            / shared_result.simulated_time(device).total
+        )
+        assert ratio < 1.5

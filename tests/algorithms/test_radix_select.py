@@ -1,0 +1,124 @@
+"""Tests for radix-select top-k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.radix_select import RadixSelectTopK
+from repro.data.distributions import (
+    bucket_killer,
+    increasing,
+    uniform_floats,
+    uniform_uints,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(10, 1), (100, 7), (5000, 64), (5000, 5000)])
+    def test_matches_reference(self, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = RadixSelectTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int32, np.int64, np.uint32, np.uint64]
+    )
+    def test_all_dtypes_with_negatives(self, dtype, rng):
+        if np.dtype(dtype).kind == "f":
+            data = (rng.standard_normal(2000) * 1000).astype(dtype)
+        else:
+            info = np.iinfo(dtype)
+            data = rng.integers(info.min, info.max, 2000, dtype=dtype)
+        result = RadixSelectTopK().run(data, 31)
+        expected, _ = reference_topk(data, 31)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+    def test_heavy_duplicates_padding_path(self, rng):
+        """When the k-th value ties with many elements, the final padding
+        step (Section 4.2) must fill the result with the tied value."""
+        data = np.ones(1000, dtype=np.float32)
+        data[:5] = 2.0
+        result = RadixSelectTopK().run(data, 100)
+        assert (result.values[:5] == 2.0).all()
+        assert (result.values[5:] == 1.0).all()
+        assert len(np.unique(result.indices)) == 100
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_ints(self, seed):
+        generator = np.random.default_rng(seed)
+        data = generator.integers(-100, 100, 300).astype(np.int32)
+        k = int(generator.integers(1, 300))
+        result = RadixSelectTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestDataDependentCost:
+    def test_uniform_floats_first_pass_keeps_half(self):
+        """U(0, 1) floats share the top exponent byte for values in
+        [0.5, 1), so eta_0 ~= 0.5."""
+        result = RadixSelectTopK().run(uniform_floats(1 << 16), 64)
+        assert result.trace.notes["eta_0"] == pytest.approx(0.5, abs=0.05)
+
+    def test_uniform_uints_reduce_maximally(self, device):
+        """Figure 11b: uniform uints give the maximal 256x reduction."""
+        result = RadixSelectTopK().run(uniform_uints(1 << 16), 64)
+        assert result.trace.notes["eta_0"] < 0.02
+
+    def test_uints_faster_than_floats(self, device):
+        floats = RadixSelectTopK(device).run(
+            uniform_floats(1 << 16), 64, model_n=1 << 29
+        )
+        uints = RadixSelectTopK(device).run(
+            uniform_uints(1 << 16), 64, model_n=1 << 29
+        )
+        assert uints.simulated_time(device).total < (
+            floats.simulated_time(device).total * 0.7
+        )
+
+    def test_bucket_killer_degrades_to_sort(self, device):
+        """Figure 12b: every pass eliminates one element, so the scatter
+        write is skipped and each pass costs a full scan, matching sort."""
+        from repro.algorithms.radix_sort import SortTopK
+
+        killer = RadixSelectTopK(device).run(
+            bucket_killer(1 << 16), 64, model_n=1 << 29
+        )
+        sort = SortTopK(device).run(uniform_floats(1 << 14), 64, model_n=1 << 29)
+        ratio = killer.simulated_time(device).total / sort.simulated_time(device).total
+        assert 0.8 < ratio < 1.2
+
+    def test_no_reduction_skips_the_clustering_write(self):
+        """An all-tied digit means zero reduction, so the pass skips its
+        scatter and reuses the input (Section 4.2)."""
+        result = RadixSelectTopK().run(np.ones(1 << 12, dtype=np.float32), 8)
+        scatter_kernels = [
+            kernel
+            for kernel in result.trace.kernels
+            if kernel.name.startswith("select-scatter")
+        ]
+        assert len(scatter_kernels) == 0
+        assert result.trace.notes["passes"] == 4
+
+    def test_bucket_killer_never_skips(self):
+        """The adversarial input removes exactly one element per pass —
+        nonzero reduction, so every pass pays its full scatter."""
+        result = RadixSelectTopK().run(bucket_killer(1 << 14), 8)
+        scatter_kernels = [
+            kernel
+            for kernel in result.trace.kernels
+            if kernel.name.startswith("select-scatter")
+        ]
+        assert len(scatter_kernels) == result.trace.notes["passes"]
+
+    def test_distribution_does_not_change_the_answer(self, rng):
+        for generator in (uniform_floats, increasing, bucket_killer):
+            data = generator(4096)
+            result = RadixSelectTopK().run(data, 32)
+            expected, _ = reference_topk(data, 32)
+            assert np.array_equal(np.sort(result.values)[::-1], expected)

@@ -1,0 +1,107 @@
+"""Tests for radix sort and the Sort-and-Choose baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.radix_sort import (
+    SortTopK,
+    exclusive_prefix_sum,
+    radix_sort,
+    radix_sort_pass,
+)
+from repro.data.distributions import bucket_killer, uniform_floats
+
+
+class TestPrefixSum:
+    def test_exclusive_semantics(self):
+        counts = np.array([3, 1, 0, 2])
+        assert exclusive_prefix_sum(counts).tolist() == [0, 3, 4, 4]
+
+    def test_empty_behaviour(self):
+        assert exclusive_prefix_sum(np.array([5])).tolist() == [0]
+
+
+class TestRadixSortPass:
+    def test_single_pass_sorts_by_digit_stably(self, rng):
+        codes = rng.integers(0, 2**16, 100).astype(np.uint32)
+        sorted_codes, payload, histogram = radix_sort_pass(
+            codes, 0, np.arange(100, dtype=np.int64)
+        )
+        digits = sorted_codes & 0xFF
+        assert np.all(np.diff(digits.astype(np.int64)) >= 0)
+        assert histogram.sum() == 100
+        # Stability: equal digits keep input order.
+        for value in np.unique(digits):
+            rows = payload[digits == value]
+            assert np.all(np.diff(rows) > 0)
+
+
+class TestRadixSort:
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int32, np.int64, np.uint32, np.uint64]
+    )
+    def test_matches_numpy_sort(self, dtype, rng):
+        if np.dtype(dtype).kind == "f":
+            values = (rng.standard_normal(3000) * 1e4).astype(dtype)
+        else:
+            info = np.iinfo(dtype)
+            values = rng.integers(info.min, info.max, 3000, dtype=dtype)
+        sorted_values, permutation = radix_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+        assert np.array_equal(values[permutation], sorted_values)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_uniform_floats(self, seed):
+        values = np.random.default_rng(seed).random(500).astype(np.float32)
+        sorted_values, _ = radix_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+
+    def test_payload_carried_through(self, rng):
+        values = rng.random(200).astype(np.float32)
+        payload = rng.integers(0, 1000, 200)
+        sorted_values, sorted_payload = radix_sort(values, payload)
+        order = np.argsort(values, kind="stable")
+        assert np.array_equal(sorted_payload, payload[order])
+
+    def test_duplicates(self, rng):
+        values = rng.integers(0, 4, 500).astype(np.int32)
+        sorted_values, _ = radix_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+
+
+class TestSortTopK:
+    def test_matches_reference(self, rng):
+        data = rng.random(5000).astype(np.float32)
+        result = SortTopK().run(data, 50)
+        expected, _ = reference_topk(data, 50)
+        assert np.array_equal(result.values, expected)
+        assert np.array_equal(data[result.indices], result.values)
+
+    def test_four_passes_for_32_bit_keys(self, rng):
+        result = SortTopK().run(rng.random(256).astype(np.float32), 10)
+        assert result.trace.notes["passes"] == 4
+        # histogram + prefix + scatter per pass
+        assert result.trace.num_launches == 12
+
+    def test_eight_passes_for_doubles(self, rng):
+        result = SortTopK().run(rng.random(256), 10)
+        assert result.trace.notes["passes"] == 8
+
+    def test_cost_independent_of_k(self, device, rng):
+        data = rng.random(1024).astype(np.float32)
+        algorithm = SortTopK(device)
+        small = algorithm.run(data, 1, model_n=1 << 29).simulated_time(device)
+        large = algorithm.run(data, 512, model_n=1 << 29).simulated_time(device)
+        assert small.total == pytest.approx(large.total)
+
+    def test_cost_independent_of_distribution(self, device):
+        algorithm = SortTopK(device)
+        uniform = algorithm.run(uniform_floats(4096), 64, model_n=1 << 29)
+        killer = algorithm.run(bucket_killer(4096), 64, model_n=1 << 29)
+        assert uniform.simulated_time(device).total == pytest.approx(
+            killer.simulated_time(device).total
+        )

@@ -1,0 +1,27 @@
+"""Tests for the figure-runner CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11a" in out and "abl43" in out
+
+    def test_run_one_figure(self, capsys):
+        assert main(["abl43"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimization ablation ladder" in out
+        assert "paper" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "FIGURE" in capsys.readouterr().out

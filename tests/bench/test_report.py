@@ -1,0 +1,59 @@
+"""Tests for the bench reporting helpers."""
+
+import pytest
+
+from repro.bench.report import Figure, Series, format_comparison, format_figure
+
+
+class TestSeries:
+    def test_points_keep_insertion_order(self):
+        series = Series("line")
+        series.add(1, 10.0)
+        series.add(4, 40.0)
+        series.add(2, 20.0)
+        assert series.xs() == [1, 4, 2]
+
+
+class TestFigure:
+    def test_add_and_lookup(self):
+        figure = Figure("f", "title", "k", "ms")
+        series = figure.add_series("bitonic")
+        series.add(32, 15.4)
+        assert figure.series_by_name("bitonic").points[32] == 15.4
+        with pytest.raises(KeyError):
+            figure.series_by_name("missing")
+
+    def test_all_xs_union(self):
+        figure = Figure("f", "title", "k", "ms")
+        figure.add_series("a").add(1, 1.0)
+        figure.add_series("b").add(2, 2.0)
+        assert figure.all_xs() == [1, 2]
+
+
+class TestFormatting:
+    def test_format_figure_contains_everything(self):
+        figure = Figure(
+            "fig1", "demo", "k", "ms", paper_expectation="flat lines"
+        )
+        figure.add_series("bitonic").add(32, 15.4)
+        figure.add_series("sort").add(32, 100.0)
+        figure.notes.append("simulated")
+        text = format_figure(figure)
+        assert "fig1" in text
+        assert "bitonic" in text and "sort" in text
+        assert "15.400" in text and "100.000" in text
+        assert "paper: flat lines" in text
+        assert "note: simulated" in text
+
+    def test_missing_points_render_dashes(self):
+        figure = Figure("f", "t", "k", "ms")
+        figure.add_series("a").add(1, 1.0)
+        figure.add_series("b").add(2, 2.0)
+        text = format_figure(figure)
+        assert "-" in text
+
+    def test_format_comparison(self):
+        line = format_comparison("top-32", 15.4, 12.2)
+        assert "paper 15.40 ms" in line
+        assert "measured 12.20 ms" in line
+        assert "x0.79" in line

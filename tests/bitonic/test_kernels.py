@@ -1,0 +1,156 @@
+"""Tests for the fused-kernel cost accounting."""
+
+import pytest
+
+from repro.bitonic.kernels import (
+    build_trace,
+    kernel_block_resources,
+    memory_overhead_bytes,
+)
+from repro.bitonic.optimizations import (
+    ABLATION_LADDER,
+    FULL,
+    NAIVE,
+    OptimizationFlags,
+)
+from repro.errors import InvalidParameterError
+from repro.gpu.timing import trace_time
+
+N = 1 << 29
+
+
+class TestTraceStructure:
+    def test_fused_kernel_names(self, device):
+        trace = build_trace(N, 32, 4, FULL, device)
+        names = [kernel.name for kernel in trace.kernels]
+        assert names[0] == "SortReducer"
+        assert all(name.startswith("BitonicReducer") for name in names[1:])
+
+    def test_kernel_count_matches_reduction_depth(self, device):
+        # 2^29 -> 32 is 24 halvings; B = 16 gives 4 per kernel -> 6 kernels.
+        trace = build_trace(N, 32, 4, FULL, device)
+        assert trace.num_launches == 6
+
+    def test_each_kernel_reduces_by_b(self, device):
+        trace = build_trace(1 << 20, 16, 4, FULL, device)
+        reads = [kernel.global_bytes_read for kernel in trace.kernels]
+        for previous, current in zip(reads, reads[1:]):
+            assert current == pytest.approx(previous / 16)
+
+    def test_sortreducer_writes_one_sixteenth(self, device):
+        trace = build_trace(N, 32, 4, FULL, device)
+        first = trace.kernels[0]
+        assert first.global_bytes_written == pytest.approx(
+            first.global_bytes_read / 16
+        )
+
+    def test_naive_launches_one_kernel_per_step(self, device):
+        trace = build_trace(1 << 12, 8, 4, NAIVE, device)
+        assert trace.num_launches > 30
+        assert all(kernel.shared_bytes == 0 for kernel in trace.kernels)
+
+    def test_k_at_least_n_degenerates(self, device):
+        trace = build_trace(1 << 10, 1 << 10, 4, FULL, device)
+        assert trace.num_launches == 1
+
+    def test_invalid_arguments(self, device):
+        with pytest.raises(InvalidParameterError):
+            build_trace(0, 8, 4, FULL, device)
+        with pytest.raises(InvalidParameterError):
+            build_trace(1024, 0, 4, FULL, device)
+
+
+class TestAblationLadder:
+    def test_strictly_decreasing_runtimes(self, device):
+        times = [
+            trace_time(build_trace(N, 32, 4, flags, device), device).total
+            for _, flags in ABLATION_LADDER
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_full_optimization_within_2x_of_paper(self, device):
+        from repro.bitonic.optimizations import PAPER_LADDER_MS
+
+        for (name, flags), paper_ms in zip(ABLATION_LADDER, PAPER_LADDER_MS):
+            model_ms = trace_time(
+                build_trace(N, 32, 4, flags, device), device
+            ).total_ms
+            assert model_ms == pytest.approx(paper_ms, rel=1.0), name
+
+    def test_shared_memory_eliminates_most_global_traffic(self, device):
+        naive = build_trace(N, 32, 4, NAIVE, device)
+        shared = build_trace(N, 32, 4, ABLATION_LADDER[1][1], device)
+        assert shared.global_bytes < naive.global_bytes / 4
+
+    def test_fusion_cuts_launches(self, device):
+        shared = build_trace(N, 32, 4, ABLATION_LADDER[1][1], device)
+        fused = build_trace(N, 32, 4, ABLATION_LADDER[2][1], device)
+        assert fused.num_launches < shared.num_launches / 4
+
+
+class TestElementsPerThread:
+    def test_b16_beats_b2(self, device):
+        slow = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(2), device), device
+        ).total
+        fast = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(16), device), device
+        ).total
+        assert fast < slow / 2
+
+    def test_b64_is_a_detriment(self, device):
+        """Figure 8: occupancy loss makes B = 64 slower than B = 16."""
+        b16 = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(16), device), device
+        ).total
+        b64 = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(64), device), device
+        ).total
+        assert b64 > b16
+
+    def test_b32_roughly_flat(self, device):
+        b16 = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(16), device), device
+        ).total
+        b32 = trace_time(
+            build_trace(N, 32, 4, FULL.with_elements_per_thread(32), device), device
+        ).total
+        assert b32 == pytest.approx(b16, rel=0.1)
+
+
+class TestBlockResources:
+    def test_default_block_is_256_threads(self, device):
+        resources = kernel_block_resources(FULL, 4, device)
+        assert resources.threads == 256
+
+    def test_b64_shrinks_the_block(self, device):
+        resources = kernel_block_resources(
+            FULL.with_elements_per_thread(64), 4, device
+        )
+        assert resources.threads < 256
+        assert resources.shared_memory_bytes <= device.shared_memory_per_block
+
+    def test_padding_inflates_shared_usage(self, device):
+        padded = kernel_block_resources(FULL, 4, device)
+        unpadded = kernel_block_resources(
+            OptimizationFlags(
+                padding=False,
+                chunk_permutation=False,
+                partition_reassignment=False,
+            ),
+            4,
+            device,
+        )
+        assert padded.shared_memory_bytes > unpadded.shared_memory_bytes
+
+
+class TestMemoryOverhead:
+    def test_fused_buffer_is_n_over_b(self):
+        assert memory_overhead_bytes(1 << 20, 4, FULL) == (1 << 20) // 16 * 4
+
+    def test_unfused_needs_full_scratch(self):
+        assert memory_overhead_bytes(1 << 20, 4, NAIVE) == (1 << 20) * 4
+
+    def test_far_below_sort_scratch(self):
+        n = 1 << 29
+        assert memory_overhead_bytes(n, 4, FULL) < n * 4 / 8

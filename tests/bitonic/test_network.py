@@ -1,0 +1,111 @@
+"""Tests for the bitonic network descriptions."""
+
+import pytest
+
+from repro.bitonic.network import (
+    Step,
+    comparisons_per_step,
+    full_sort_steps,
+    local_sort_steps,
+    rebuild_steps,
+    topk_total_comparisons,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestStep:
+    def test_distance_bit(self):
+        assert Step(inc=8, direction_period=16).distance_bit == 3
+
+    def test_distance_must_be_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            Step(inc=3, direction_period=8)
+
+    def test_direction_period_lower_bound(self):
+        with pytest.raises(InvalidParameterError):
+            Step(inc=8, direction_period=8)
+
+
+class TestLocalSortSteps:
+    def test_step_count_is_triangular(self):
+        # Phases 1..log2(k)-1... building runs of k takes sum_{p=1}^{log k}
+        # p steps = log k (log k + 1) / 2.
+        assert len(local_sort_steps(2)) == 1
+        assert len(local_sort_steps(4)) == 3
+        assert len(local_sort_steps(32)) == 15
+        assert len(local_sort_steps(256)) == 36
+
+    def test_distances_never_exceed_half_k(self):
+        for step in local_sort_steps(64):
+            assert step.inc <= 32
+
+    def test_first_phase_is_distance_one(self):
+        steps = local_sort_steps(16)
+        assert steps[0].inc == 1
+        assert steps[0].direction_period == 2
+
+    def test_phases_end_at_distance_one(self):
+        steps = local_sort_steps(16)
+        phase_ends = [s for s in steps if s.inc == 1]
+        assert len(phase_ends) == 4  # one per phase
+
+    def test_k_one_needs_no_steps(self):
+        assert local_sort_steps(1) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            local_sort_steps(3)
+        with pytest.raises(InvalidParameterError):
+            local_sort_steps(0)
+
+
+class TestRebuildSteps:
+    def test_log_k_steps(self):
+        # The Section 3.2 saving: rebuilding a bitonic sequence takes
+        # log2(k) steps instead of a full local sort.
+        for exponent in range(1, 9):
+            assert len(rebuild_steps(1 << exponent)) == exponent
+
+    def test_starts_at_half_k(self):
+        steps = rebuild_steps(32)
+        assert steps[0].inc == 16
+        assert steps[-1].inc == 1
+
+    def test_direction_alternates_every_k(self):
+        for step in rebuild_steps(32):
+            assert step.direction_period == 32
+
+    def test_k_one_is_empty(self):
+        assert rebuild_steps(1) == []
+
+
+class TestFullSort:
+    def test_total_steps_quadratic_in_log(self):
+        # log n phases, phase p has p steps: n = 16 -> 1+2+3+4 = 10.
+        assert len(full_sort_steps(16)) == 10
+
+    def test_comparisons_per_step(self):
+        assert comparisons_per_step(64) == 32
+
+
+class TestComparisonCounts:
+    def test_topk_cheaper_than_full_sort(self):
+        n = 1 << 16
+        topk = topk_total_comparisons(n, 32)
+        sort = len(full_sort_steps(n)) * comparisons_per_step(n)
+        assert topk < sort / 3
+
+    def test_comparisons_grow_with_k(self):
+        n = 1 << 16
+        counts = [topk_total_comparisons(n, 1 << e) for e in range(1, 9)]
+        assert counts == sorted(counts)
+
+    def test_linear_in_n_for_fixed_k(self):
+        small = topk_total_comparisons(1 << 14, 64)
+        large = topk_total_comparisons(1 << 18, 64)
+        # O(n log^2 k): growing n 16x grows comparisons roughly 16x.
+        assert 14 < large / small < 18
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            topk_total_comparisons(16, 32)

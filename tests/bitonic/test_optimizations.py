@@ -1,0 +1,82 @@
+"""Tests for the optimization flag dependencies and presets."""
+
+import pytest
+
+from repro.bitonic.optimizations import (
+    ABLATION_LADDER,
+    FULL,
+    NAIVE,
+    PAPER_LADDER_MS,
+    OptimizationFlags,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestDependencies:
+    def test_fusion_requires_shared_memory(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(shared_memory=False, kernel_fusion=True)
+
+    def test_combined_steps_require_fusion(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(
+                shared_memory=True, kernel_fusion=False, combined_steps=True
+            )
+
+    def test_padding_requires_combined_steps(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(
+                combined_steps=False, padding=True, chunk_permutation=False
+            )
+
+    def test_permutation_requires_padding(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(padding=False, chunk_permutation=True)
+
+    def test_elements_per_thread_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(elements_per_thread=3)
+        with pytest.raises(InvalidParameterError):
+            OptimizationFlags(elements_per_thread=128)
+
+
+class TestPresets:
+    def test_full_enables_everything(self):
+        assert FULL.shared_memory
+        assert FULL.kernel_fusion
+        assert FULL.combined_steps
+        assert FULL.padding
+        assert FULL.chunk_permutation
+        assert FULL.partition_reassignment
+        assert FULL.elements_per_thread == 16
+
+    def test_naive_disables_everything(self):
+        assert not NAIVE.shared_memory
+        assert not NAIVE.kernel_fusion
+
+    def test_ladder_has_eight_rungs_matching_paper(self):
+        assert len(ABLATION_LADDER) == len(PAPER_LADDER_MS) == 8
+
+    def test_ladder_is_cumulative(self):
+        """Each rung only ever turns features on (or raises B)."""
+        feature_count = []
+        for _, flags in ABLATION_LADDER:
+            enabled = sum(
+                [
+                    flags.shared_memory,
+                    flags.kernel_fusion,
+                    flags.combined_steps,
+                    flags.padding,
+                    flags.chunk_permutation,
+                    flags.partition_reassignment,
+                ]
+            )
+            feature_count.append((enabled, flags.elements_per_thread))
+        assert feature_count == sorted(feature_count)
+
+    def test_paper_numbers_strictly_decrease(self):
+        assert PAPER_LADDER_MS == sorted(PAPER_LADDER_MS, reverse=True)
+
+    def test_with_elements_per_thread(self):
+        assert FULL.with_elements_per_thread(8).elements_per_thread == 8
+        assert FULL.elements_per_thread == 16  # frozen original unchanged

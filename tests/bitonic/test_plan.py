@@ -1,0 +1,107 @@
+"""Tests for the combined-step round planner."""
+
+import pytest
+
+from repro.bitonic.network import local_sort_steps, rebuild_steps
+from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.bitonic.plan import plan_rounds, rounds_raw_words, rounds_traffic_words
+
+UNCOMBINED = OptimizationFlags(
+    combined_steps=False,
+    padding=False,
+    chunk_permutation=False,
+    partition_reassignment=False,
+    elements_per_thread=8,
+)
+COMBINED_UNPADDED = OptimizationFlags(
+    padding=False,
+    chunk_permutation=False,
+    partition_reassignment=False,
+    elements_per_thread=8,
+)
+PADDED = OptimizationFlags(
+    chunk_permutation=False,
+    partition_reassignment=False,
+    elements_per_thread=16,
+)
+
+
+class TestUncombined:
+    def test_one_round_per_step(self):
+        steps = local_sort_steps(32)
+        rounds = plan_rounds(steps, UNCOMBINED)
+        assert len(rounds) == len(steps)
+        assert all(round_.num_steps == 1 for round_ in rounds)
+
+    def test_empty_steps(self):
+        assert plan_rounds([], FULL) == []
+
+
+class TestCombined:
+    def test_rounds_cover_all_steps_in_order(self):
+        steps = local_sort_steps(64)
+        rounds = plan_rounds(steps, PADDED)
+        flattened = [step for round_ in rounds for step in round_.steps]
+        assert flattened == steps
+
+    def test_window_respects_capacity(self):
+        rounds = plan_rounds(local_sort_steps(256), PADDED)
+        for round_ in rounds:
+            distinct_bits = {step.distance_bit for step in round_.steps}
+            assert len(distinct_bits) <= 4
+
+    def test_padding_enables_fewer_rounds(self):
+        steps = local_sort_steps(32)
+        padded = plan_rounds(steps, PADDED)
+        uncombined = plan_rounds(steps, UNCOMBINED)
+        assert len(padded) < len(uncombined) / 2
+
+    def test_local_sort_32_compacts_to_three_rounds(self):
+        # 15 steps -> [10 steps bits 0-3][16,8,4,2][1] with a 4-bit window.
+        rounds = plan_rounds(local_sort_steps(32), PADDED)
+        assert [round_.num_steps for round_ in rounds] == [10, 4, 1]
+
+    def test_unpadded_combining_never_costs_more_than_singles(self):
+        for k in (8, 32, 128):
+            steps = local_sort_steps(k)
+            combined = rounds_traffic_words(plan_rounds(steps, COMBINED_UNPADDED))
+            singles = rounds_traffic_words(plan_rounds(steps, UNCOMBINED))
+            assert combined <= singles
+
+
+class TestConflictFactors:
+    def test_full_optimization_is_conflict_free_for_small_k(self):
+        # Section 4.3: chunk permutation removes all remaining local-sort
+        # conflicts for k <= 256.
+        for k in (8, 32, 256):
+            for steps in (local_sort_steps(k), rebuild_steps(k)):
+                rounds = plan_rounds(steps, FULL)
+                assert all(round_.conflict_factor == 1.0 for round_ in rounds), k
+
+    def test_padding_alone_leaves_some_conflicts(self):
+        rounds = plan_rounds(local_sort_steps(32), PADDED)
+        assert any(round_.conflict_factor > 1.0 for round_ in rounds)
+
+
+class TestTrafficAccounting:
+    def test_raw_words_two_per_round(self):
+        rounds = plan_rounds(local_sort_steps(32), PADDED)
+        assert rounds_raw_words(rounds) == pytest.approx(2.0 * len(rounds))
+
+    def test_weighted_at_least_raw(self):
+        for flags in (UNCOMBINED, COMBINED_UNPADDED, PADDED, FULL):
+            rounds = plan_rounds(local_sort_steps(64), flags)
+            assert rounds_traffic_words(rounds) >= rounds_raw_words(rounds) - 1e-9
+
+    def test_optimization_ladder_monotone_traffic(self):
+        """Each successive optimization reduces weighted shared traffic."""
+        steps = local_sort_steps(32)
+        ladder = [UNCOMBINED, COMBINED_UNPADDED, PADDED, FULL]
+        costs = [rounds_traffic_words(plan_rounds(steps, flags)) for flags in ladder]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_shrunken_capacity_increases_rounds(self):
+        steps = rebuild_steps(256)
+        wide = plan_rounds(steps, FULL, elements_per_thread=16)
+        narrow = plan_rounds(steps, FULL, elements_per_thread=2)
+        assert len(narrow) > len(wide)

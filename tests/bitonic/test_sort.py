@@ -1,0 +1,98 @@
+"""Tests for the full bitonic sorter and k-selection helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.algorithms.registry import create
+from repro.bitonic.sort import BitonicSortTopK, bitonic_sort, kth_largest
+from repro.errors import InvalidParameterError
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64, 100, 1000, 4096])
+    def test_matches_numpy_sort(self, n, rng):
+        values = rng.random(n).astype(np.float32)
+        sorted_values, permutation = bitonic_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+        if n:
+            assert np.array_equal(values[permutation], sorted_values)
+
+    def test_integers(self, rng):
+        values = rng.integers(-1000, 1000, 500).astype(np.int32)
+        sorted_values, _ = bitonic_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, seed):
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(1, 2000))
+        values = generator.random(n).astype(np.float32)
+        sorted_values, _ = bitonic_sort(values)
+        assert np.array_equal(sorted_values, np.sort(values))
+
+    def test_payload_carried(self, rng):
+        values = rng.random(128).astype(np.float32)
+        payload = rng.integers(0, 100, 128)
+        _, permutation = bitonic_sort(values, payload)
+        # Returned payload entries come from the provided payload array.
+        assert set(permutation.tolist()) <= set(payload.tolist())
+
+
+class TestBitonicSortTopK:
+    def test_matches_reference(self, rng):
+        data = rng.random(3000).astype(np.float32)
+        result = BitonicSortTopK().run(data, 40)
+        expected, _ = reference_topk(data, 40)
+        assert np.array_equal(result.values, expected)
+
+    def test_registered_in_the_registry(self, rng, device):
+        algorithm = create("bitonic-sort", device)
+        data = rng.random(512).astype(np.float32)
+        result = algorithm.run(data, 8)
+        expected, _ = reference_topk(data, 8)
+        assert np.array_equal(result.values, expected)
+
+    def test_loses_to_radix_sort_at_scale(self, device, rng):
+        """The Section 2.2 background claim: radix-based sorts beat
+        bitonic sort — here by the O(log^2 n / passes) traffic ratio."""
+        data = rng.random(1024).astype(np.float32)
+        bitonic = BitonicSortTopK(device).run(data, 8, model_n=1 << 29)
+        radix = create("sort", device).run(data, 8, model_n=1 << 29)
+        ratio = (
+            bitonic.simulated_time(device).total
+            / radix.simulated_time(device).total
+        )
+        assert ratio > 3
+
+    def test_far_worse_than_bitonic_topk(self, device, rng):
+        """The headline motivation: top-k needs no full sort."""
+        data = rng.random(1024).astype(np.float32)
+        full_sort = BitonicSortTopK(device).run(data, 32, model_n=1 << 29)
+        topk = create("bitonic", device).run(data, 32, model_n=1 << 29)
+        assert (
+            full_sort.simulated_time(device).total
+            > 10 * topk.simulated_time(device).total
+        )
+
+
+class TestKthLargest:
+    def test_matches_partition(self, rng):
+        data = rng.random(5000).astype(np.float32)
+        for k in (1, 10, 100):
+            assert kth_largest(data, k) == np.sort(data)[::-1][k - 1]
+
+    def test_works_with_any_algorithm(self, rng):
+        data = rng.random(2000).astype(np.float32)
+        via_bitonic = kth_largest(data, 25, algorithm="bitonic")
+        via_radix = kth_largest(data, 25, algorithm="radix-select")
+        assert via_bitonic == via_radix
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(InvalidParameterError):
+            kth_largest(rng.random(10).astype(np.float32), 0)
+        with pytest.raises(InvalidParameterError):
+            kth_largest(rng.random(10).astype(np.float32), 11)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import get_device
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    """The paper's evaluation GPU profile."""
+    return get_device("titan-x-maxwell")

@@ -1,0 +1,106 @@
+"""Tests for the fused filter+top-k API and percentile helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtered import percentile, topk_where
+from repro.errors import InvalidParameterError
+
+
+class TestTopKWhere:
+    def test_matches_masked_reference(self, rng):
+        values = rng.random(10000).astype(np.float32)
+        mask = values < 0.5
+        result = topk_where(values, mask, 20)
+        expected = np.sort(values[mask])[::-1][:20]
+        assert np.array_equal(result.values, expected)
+        assert mask[result.indices].all()
+
+    def test_k_larger_than_selection(self, rng):
+        values = rng.random(100).astype(np.float32)
+        mask = np.zeros(100, dtype=bool)
+        mask[:5] = True
+        result = topk_where(values, mask, 50)
+        assert len(result.values) == 5
+        assert np.array_equal(np.sort(result.indices), np.arange(5))
+
+    def test_empty_selection(self, rng):
+        values = rng.random(64).astype(np.float32)
+        result = topk_where(values, np.zeros(64, dtype=bool), 5)
+        assert len(result.values) == 0
+        assert len(result.indices) == 0
+
+    def test_fused_trace_reads_base_once(self, rng, device):
+        values = rng.random(1 << 14).astype(np.float32)
+        mask = values > 0.9
+        result = topk_where(values, mask, 32, device=device, model_n=1 << 29)
+        first = result.trace.kernels[0]
+        assert first.name == "FusedSortReducer"
+        assert first.global_bytes_read == pytest.approx((1 << 29) * 4)
+        assert result.trace.notes["selectivity"] == pytest.approx(0.1, abs=0.02)
+
+    def test_cheaper_than_materialize_then_topk(self, rng, device):
+        """The Section 5 claim as an API property: fusing beats filtering
+        to an intermediate and reducing it."""
+        from repro.bitonic.topk import BitonicTopK
+
+        values = rng.random(1 << 14).astype(np.float32)
+        mask = np.ones(1 << 14, dtype=bool)
+        fused = topk_where(values, mask, 32, device=device, model_n=1 << 29)
+        separate_topk = BitonicTopK(device).run(values, 32, model_n=1 << 29)
+        # Separate = filter pass (read+write) + top-k read; fused folds the
+        # write+read round trip away.
+        separate_total = (
+            separate_topk.simulated_time(device).total
+            + 2 * (1 << 29) * 4 / (device.global_bandwidth * device.global_efficiency)
+        )
+        assert fused.simulated_time(device).total < separate_total
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, seed):
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(1, 3000))
+        values = generator.random(n).astype(np.float32)
+        mask = generator.random(n) < 0.3
+        k = int(generator.integers(1, 100))
+        result = topk_where(values, mask, k)
+        expected = np.sort(values[mask])[::-1][: min(k, mask.sum())]
+        assert np.array_equal(result.values, expected)
+
+    def test_validation(self, rng):
+        values = rng.random(16).astype(np.float32)
+        with pytest.raises(InvalidParameterError):
+            topk_where(values, np.ones(8, dtype=bool), 2)
+        with pytest.raises(InvalidParameterError):
+            topk_where(values, np.ones(16, dtype=np.int32), 2)
+        with pytest.raises(InvalidParameterError):
+            topk_where(values, np.ones(16, dtype=bool), 0)
+
+
+class TestPercentile:
+    def test_matches_numpy_nearest_rank(self, rng):
+        values = rng.random(10000).astype(np.float32)
+        for q in (50.0, 90.0, 99.0, 100.0):
+            rank = max(1, int(np.ceil((1 - q / 100) * len(values))))
+            expected = np.sort(values)[::-1][rank - 1]
+            assert percentile(values, q) == pytest.approx(float(expected))
+
+    def test_p100_is_the_minimum_rank_one_value(self, rng):
+        values = rng.random(100).astype(np.float32)
+        assert percentile(values, 100.0) == values.max()
+
+    def test_small_q_approaches_the_minimum(self, rng):
+        values = rng.random(100).astype(np.float32)
+        assert percentile(values, 0.5) == values.min()
+
+    def test_validation(self, rng):
+        values = rng.random(10).astype(np.float32)
+        with pytest.raises(InvalidParameterError):
+            percentile(values, 0.0)
+        with pytest.raises(InvalidParameterError):
+            percentile(values, 101.0)
+        with pytest.raises(InvalidParameterError):
+            percentile(np.empty(0, dtype=np.float32), 50.0)

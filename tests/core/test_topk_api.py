@@ -1,0 +1,72 @@
+"""Tests for the public topk / bottomk API."""
+
+import numpy as np
+import pytest
+
+from repro import bottomk, topk
+from repro.algorithms.base import reference_topk
+from repro.algorithms.registry import EVALUATED_ALGORITHMS
+from repro.errors import InvalidParameterError
+
+
+class TestTopK:
+    def test_auto_matches_reference(self, rng):
+        data = rng.random(10000).astype(np.float32)
+        result = topk(data, 32)
+        expected, _ = reference_topk(data, 32)
+        assert np.array_equal(result.values, expected)
+        assert result.algorithm in EVALUATED_ALGORITHMS
+
+    @pytest.mark.parametrize("algorithm", EVALUATED_ALGORITHMS)
+    def test_every_algorithm_by_name(self, algorithm, rng):
+        data = rng.random(5000).astype(np.float32)
+        result = topk(data, 16, algorithm=algorithm)
+        expected, _ = reference_topk(data, 16)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert result.algorithm == algorithm
+
+    def test_accepts_lists(self):
+        result = topk(np.array([3.0, 1.0, 4.0, 1.0, 5.0], dtype=np.float32), 2)
+        assert result.values.tolist() == [5.0, 4.0]
+
+    def test_unknown_algorithm(self, rng):
+        with pytest.raises(InvalidParameterError):
+            topk(rng.random(16).astype(np.float32), 2, algorithm="bogus")
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(InvalidParameterError):
+            topk(rng.random(16).astype(np.float32), 0)
+
+    def test_model_n_flows_into_result(self, rng):
+        data = rng.random(1024).astype(np.float32)
+        result = topk(data, 8, algorithm="bitonic", model_n=1 << 26)
+        assert result.model_n == 1 << 26
+
+
+class TestBottomK:
+    def test_floats(self, rng):
+        data = rng.random(5000).astype(np.float32)
+        result = bottomk(data, 10)
+        assert np.array_equal(np.sort(result.values), np.sort(data)[:10])
+        assert np.array_equal(np.sort(data[result.indices]), np.sort(data)[:10])
+
+    def test_signed_integers_with_extremes(self):
+        data = np.array(
+            [np.iinfo(np.int32).min, -5, 0, 7, np.iinfo(np.int32).max],
+            dtype=np.int32,
+        )
+        result = bottomk(data, 2, algorithm="sort")
+        assert set(result.values.tolist()) == {np.iinfo(np.int32).min, -5}
+
+    def test_unsigned_integers(self, rng):
+        data = rng.integers(0, 2**32, 3000, dtype=np.uint32)
+        result = bottomk(data, 25, algorithm="radix-select")
+        assert np.array_equal(np.sort(result.values), np.sort(data)[:25])
+
+    def test_largest_flag_equivalence(self, rng):
+        data = rng.random(2000).astype(np.float32)
+        via_flag = topk(data, 5, algorithm="bitonic", largest=False)
+        via_helper = bottomk(data, 5, algorithm="bitonic")
+        assert np.array_equal(
+            np.sort(via_flag.values), np.sort(via_helper.values)
+        )

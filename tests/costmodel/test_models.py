@@ -1,0 +1,146 @@
+"""Tests for the Section 7 cost models."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.base import (
+    BUCKET_KILLER,
+    INCREASING_FLOAT,
+    UNIFORM_FLOAT,
+    UNIFORM_UINT,
+    get_profile,
+)
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.other_models import (
+    BucketSelectModel,
+    PerThreadModel,
+    expected_heap_inserts,
+)
+from repro.costmodel.radix_model import RadixSelectModel, SortModel
+from repro.errors import InvalidParameterError
+
+N = 1 << 29
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("uniform-float") is UNIFORM_FLOAT
+        assert get_profile("bucket-killer") is BUCKET_KILLER
+
+    def test_unknown_profile(self):
+        with pytest.raises(InvalidParameterError):
+            get_profile("cauchy")
+
+    def test_uniform_uint_reduces_maximally(self):
+        assert all(f == 1 / 256 for f in UNIFORM_UINT.radix_survivor_fractions)
+
+
+class TestRadixModel:
+    def test_paper_worked_example(self, device):
+        """Section 7: the first pass histogram read alone is ~8.6 ms; the
+        full uniform-float prediction lands near 30 ms."""
+        model = RadixSelectModel(device)
+        assert model.predict_ms(N, 64) == pytest.approx(30, rel=0.1)
+
+    def test_prediction_is_k_independent(self, device):
+        model = RadixSelectModel(device)
+        assert model.predict_seconds(N, 8) == pytest.approx(
+            model.predict_seconds(N, 1024)
+        )
+
+    def test_uints_cheaper_than_floats(self, device):
+        model = RadixSelectModel(device)
+        floats = model.predict_seconds(N, 64, np.float32, UNIFORM_FLOAT)
+        uints = model.predict_seconds(N, 64, np.uint32, UNIFORM_UINT)
+        assert uints < floats * 0.7
+
+    def test_bucket_killer_costs_like_sort(self, device):
+        radix = RadixSelectModel(device).predict_seconds(
+            N, 64, np.float32, BUCKET_KILLER
+        )
+        sort = SortModel(device).predict_seconds(N, 64)
+        assert radix == pytest.approx(sort, rel=0.15)
+
+
+class TestSortModel:
+    def test_flat_in_k_and_distribution(self, device):
+        model = SortModel(device)
+        assert model.predict_seconds(N, 1) == model.predict_seconds(N, 1024)
+        assert model.predict_seconds(N, 64, np.float32, BUCKET_KILLER) == (
+            model.predict_seconds(N, 64, np.float32, UNIFORM_FLOAT)
+        )
+
+    def test_doubles_cost_more(self, device):
+        model = SortModel(device)
+        floats = model.predict_seconds(N, 64, np.float32)
+        doubles = model.predict_seconds(N // 2, 64, np.float64)
+        # Same bytes, twice the passes: roughly 2x.
+        assert doubles == pytest.approx(2 * floats, rel=0.1)
+
+
+class TestBitonicModel:
+    def test_grows_with_k(self, device):
+        model = BitonicModel(device)
+        times = [model.predict_seconds(N, 1 << e) for e in range(0, 11)]
+        assert times[-1] > times[0]
+        assert all(b >= a * 0.999 for a, b in zip(times, times[1:]))
+
+    def test_underestimates_the_measured_trace(self, device):
+        """Like the paper's model: peak bandwidths, no launch overheads."""
+        from repro.bitonic.kernels import build_trace
+        from repro.bitonic.optimizations import FULL
+        from repro.gpu.timing import trace_time
+
+        model = BitonicModel(device)
+        for k in (32, 256):
+            predicted = model.predict_seconds(N, k)
+            measured = trace_time(build_trace(N, k, 4, FULL, device), device).total
+            assert predicted < measured
+            assert predicted > measured * 0.6
+
+    def test_kernel_breakdown_shapes(self, device):
+        breakdown = BitonicModel(device).kernel_breakdown(N, 32)
+        assert breakdown[0][0] == "SortReducer"
+        for _, global_time, shared_time in breakdown:
+            assert global_time >= 0 and shared_time >= 0
+
+    def test_sortreducer_is_shared_bound_at_k32(self, device):
+        """Section 7.2's worked example: T_k > T_g for the SortReducer."""
+        name, global_time, shared_time = BitonicModel(device).kernel_breakdown(
+            N, 32
+        )[0]
+        assert shared_time > global_time
+
+
+class TestPerThreadModel:
+    def test_capacity_mirror(self, device):
+        model = PerThreadModel(device)
+        assert model.supports(N, 256, np.dtype(np.float32))
+        assert not model.supports(N, 512, np.dtype(np.float32))
+        assert not model.supports(N, 256, np.dtype(np.float64))
+
+    def test_increasing_profile_costs_more(self, device):
+        model = PerThreadModel(device)
+        uniform = model.predict_seconds(N, 32, np.float32, UNIFORM_FLOAT)
+        adversarial = model.predict_seconds(N, 32, np.float32, INCREASING_FLOAT)
+        assert adversarial > uniform
+
+    def test_expected_inserts_formula(self):
+        assert expected_heap_inserts(100, 200) == 100.0
+        assert expected_heap_inserts(1 << 20, 32) == pytest.approx(
+            32 * (1 + np.log((1 << 20) / 32)), rel=0.01
+        )
+
+
+class TestBucketModel:
+    def test_k1_is_just_the_minmax_pass(self, device):
+        model = BucketSelectModel(device)
+        single = model.predict_seconds(N, 1)
+        assert single == pytest.approx(
+            N * 4 / device.global_bandwidth, rel=0.01
+        )
+
+    def test_atomics_make_it_slower_than_radix(self, device):
+        bucket = BucketSelectModel(device).predict_seconds(N, 64)
+        radix = RadixSelectModel(device).predict_seconds(N, 64)
+        assert bucket > radix

@@ -1,0 +1,55 @@
+"""Tests for the what-if hardware analysis."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.whatif import (
+    crossover_vs_bandwidth_ratio,
+    sweep_devices,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCrossoverSweep:
+    def test_crossover_moves_up_with_shared_bandwidth(self):
+        """Faster shared memory widens bitonic's winning range."""
+        points = crossover_vs_bandwidth_ratio([2.0, 6.0, 12.0, 24.0])
+        crossovers = [
+            point.crossover_k if point.crossover_k is not None else 1 << 20
+            for point in points
+        ]
+        assert crossovers == sorted(crossovers)
+        assert crossovers[0] < crossovers[-1]
+
+    def test_starved_shared_memory_kills_bitonic_early(self):
+        (point,) = crossover_vs_bandwidth_ratio([0.5])
+        assert point.crossover_k is not None
+        assert point.crossover_k <= 64
+
+    def test_uint_profile(self):
+        from repro.costmodel.base import UNIFORM_UINT
+
+        (point,) = crossover_vs_bandwidth_ratio(
+            [11.6], dtype=np.uint32, profile=UNIFORM_UINT
+        )
+        assert point.crossover_k is not None
+        assert 64 <= point.crossover_k <= 512
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            crossover_vs_bandwidth_ratio([])
+        with pytest.raises(InvalidParameterError):
+            crossover_vs_bandwidth_ratio([-1.0])
+
+
+class TestDeviceSweep:
+    def test_covers_all_registered_devices(self):
+        table = sweep_devices(ks=(1, 64, 256))
+        assert {"titan-x-maxwell", "gtx-1080", "v100"} <= set(table)
+        for choices in table.values():
+            assert set(choices) == {1, 64, 256}
+
+    def test_midrange_choice_is_bitonic_everywhere(self):
+        table = sweep_devices(ks=(256,))
+        for device_name, choices in table.items():
+            assert choices[256] == "bitonic", device_name

@@ -1,0 +1,102 @@
+"""Tests for the CPU bitonic top-k (Appendix C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import reference_topk
+from repro.cpu.bitonic_cpu import (
+    CpuBitonicTopK,
+    partition_bitonic_topk,
+    vector_bitonic_reduce,
+    vector_sort_reduce,
+)
+from repro.data.distributions import increasing, uniform_floats
+
+
+class TestVectorReducers:
+    def test_sort_reduce_keeps_the_top_k(self, rng):
+        k = 8
+        vector = rng.random(2048).astype(np.float32)
+        payload = np.arange(2048, dtype=np.int64)
+        reduced, reduced_payload = vector_sort_reduce(vector.copy(), k, payload)
+        assert len(reduced) == 2048 // 16
+        expected = np.sort(vector)[::-1][:k]
+        assert set(expected) <= set(reduced)
+
+    def test_bitonic_reduce_composes(self, rng):
+        k = 4
+        vector = rng.random(256).astype(np.float32)
+        payload = np.arange(256, dtype=np.int64)
+        stage_one, payload = vector_sort_reduce(vector.copy(), k, payload)
+        stage_two, _ = vector_bitonic_reduce(stage_one, k, payload)
+        expected = np.sort(vector)[::-1][:k]
+        assert set(expected) <= set(stage_two)
+
+
+class TestPartitionTopK:
+    def test_partition_reduction_matches_reference(self, rng):
+        data = rng.random(10000).astype(np.float32)
+        values, payload = partition_bitonic_topk(data, 16, base_index=100)
+        expected = np.sort(data)[::-1][:16]
+        assert np.array_equal(values[:16], expected)
+        assert np.array_equal(data[payload[:16] - 100], values[:16])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(10, 2), (1000, 32), (50000, 256), (333, 1)])
+    def test_matches_reference(self, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = CpuBitonicTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_sizes(self, seed):
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(1, 5000))
+        k = int(generator.integers(1, min(n, 512) + 1))
+        data = generator.random(n).astype(np.float32)
+        result = CpuBitonicTopK().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestCostModel:
+    def test_distribution_independent(self, device):
+        """Appendix C: the comparison count is fixed by (n, k)."""
+        uniform = CpuBitonicTopK(device).run(
+            uniform_floats(1 << 14), 32, model_n=1 << 29
+        )
+        sorted_input = CpuBitonicTopK(device).run(
+            increasing(1 << 14), 32, model_n=1 << 29
+        )
+        assert uniform.simulated_ms(device) == pytest.approx(
+            sorted_input.simulated_ms(device)
+        )
+
+    def test_much_slower_than_heap_on_uniform(self, device):
+        """Figure 15a: ~500 insertions vs O(n log^2 k) comparisons."""
+        from repro.cpu.pq_topk import HandPqTopK
+
+        data = uniform_floats(1 << 14)
+        bitonic = CpuBitonicTopK(device).run(data, 32, model_n=1 << 29)
+        heap = HandPqTopK(device).run(data, 32, model_n=1 << 29)
+        assert bitonic.simulated_ms(device) > 5 * heap.simulated_ms(device)
+
+    def test_close_to_heap_on_sorted(self, device):
+        """Figure 15b: SIMD makes up for the extra comparisons."""
+        from repro.cpu.pq_topk import HandPqTopK
+
+        data = increasing(1 << 14)
+        bitonic = CpuBitonicTopK(device).run(data, 32, model_n=1 << 29)
+        heap = HandPqTopK(device).run(data, 32, model_n=1 << 29)
+        ratio = bitonic.simulated_ms(device) / heap.simulated_ms(device)
+        assert 0.5 < ratio < 2.0
+
+    def test_comparisons_recorded(self, rng):
+        result = CpuBitonicTopK().run(uniform_floats(1 << 12), 16)
+        assert result.trace.notes["comparisons"] > 0

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch binary min-heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.heap import MinHeap
+from repro.errors import InvalidParameterError
+
+
+class TestBasicOperations:
+    def test_push_pop_single(self):
+        heap = MinHeap()
+        heap.push(5.0)
+        assert heap.min() == 5.0
+        assert heap.pop() == 5.0
+        assert len(heap) == 0
+
+    def test_min_tracks_smallest(self):
+        heap = MinHeap()
+        for value in (5.0, 2.0, 8.0, 1.0):
+            heap.push(value)
+        assert heap.min() == 1.0
+
+    def test_heapify_constructor(self):
+        heap = MinHeap([4.0, 1.0, 3.0, 2.0])
+        assert heap.drain_sorted() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_push_pop_min_replaces_root(self):
+        heap = MinHeap([3.0, 5.0, 7.0])
+        old = heap.push_pop_min(6.0)
+        assert old == 3.0
+        assert heap.min() == 5.0
+        assert len(heap) == 3
+
+    def test_duplicates_survive(self):
+        heap = MinHeap([2.0, 2.0, 2.0, 1.0])
+        assert heap.drain_sorted() == [1.0, 2.0, 2.0, 2.0]
+
+
+class TestErrors:
+    def test_empty_min(self):
+        with pytest.raises(InvalidParameterError):
+            MinHeap().min()
+
+    def test_empty_pop(self):
+        with pytest.raises(InvalidParameterError):
+            MinHeap().pop()
+
+    def test_empty_replace(self):
+        with pytest.raises(InvalidParameterError):
+            MinHeap().push_pop_min(1.0)
+
+    def test_capacity_enforced(self):
+        heap = MinHeap(capacity=2)
+        heap.push(1.0)
+        heap.push(2.0)
+        with pytest.raises(InvalidParameterError):
+            heap.push(3.0)
+        assert heap.capacity == 2
+
+
+class TestProperties:
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_drain_is_sorted(self, values):
+        heap = MinHeap(values)
+        assert heap.drain_sorted() == sorted(values)
+
+    @given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                           min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_replace_equals_pop_then_push(self, values):
+        floats = [float(v) for v in values]
+        new_value = floats.pop()
+        via_replace = MinHeap(list(floats))
+        via_replace.push_pop_min(new_value)
+        via_pop_push = MinHeap(list(floats))
+        via_pop_push.pop()
+        via_pop_push.push(new_value)
+        assert via_replace.drain_sorted() == via_pop_push.drain_sorted()
+
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_heap_invariant_holds_internally(self, values):
+        heap = MinHeap(values)
+        items = heap.as_list()
+        for index in range(1, len(items)):
+            assert items[(index - 1) // 2] <= items[index]
+
+
+class TestStats:
+    def test_operation_counting(self):
+        heap = MinHeap()
+        heap.push(3.0)
+        heap.push(1.0)
+        heap.pop()
+        heap.push_pop_min(4.0)
+        assert heap.stats.pushes == 2
+        assert heap.stats.pops == 1
+        assert heap.stats.replacements == 1
+        assert heap.stats.comparisons > 0
+
+    def test_replace_cheaper_than_pop_push(self):
+        """The hand-optimized PQ's advantage: one sift instead of two."""
+        values = list(range(1024, 0, -1))
+        replace_heap = MinHeap([float(v) for v in values])
+        replace_heap.stats.sift_swaps = 0
+        replace_heap.push_pop_min(2000.0)
+        replace_swaps = replace_heap.stats.sift_swaps
+
+        pop_push_heap = MinHeap([float(v) for v in values])
+        pop_push_heap.stats.sift_swaps = 0
+        pop_push_heap.pop()
+        pop_push_heap.push(2000.0)
+        assert replace_swaps <= pop_push_heap.stats.sift_swaps

@@ -1,0 +1,92 @@
+"""Tests for the CPU priority-queue baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.cpu.pq_topk import HandPqTopK, StlPqTopK, heap_topk_stream
+from repro.data.distributions import decreasing, increasing, uniform_floats
+
+
+class TestHeapStream:
+    def test_returns_topk(self, rng):
+        data = rng.random(500).astype(np.float32)
+        values, _ = heap_topk_stream(data, 16)
+        assert np.array_equal(np.sort(values), np.sort(data)[-16:])
+
+    def test_insert_count_uniform_matches_order_statistics(self, rng):
+        """E[inserts] = sum min(1, k/i) ~= k (1 + ln(m/k)) for i.i.d. data."""
+        k, m = 16, 20000
+        counts = []
+        for seed in range(8):
+            data = np.random.default_rng(seed).random(m).astype(np.float32)
+            _, inserts = heap_topk_stream(data, k)
+            counts.append(inserts)
+        expected = k * (1 + math.log(m / k))
+        assert np.mean(counts) == pytest.approx(expected, rel=0.25)
+
+    def test_sorted_ascending_inserts_everything(self):
+        data = increasing(1000)
+        _, inserts = heap_topk_stream(data, 8)
+        assert inserts == 1000
+
+    def test_sorted_descending_inserts_warmup_only(self):
+        data = decreasing(1000)
+        _, inserts = heap_topk_stream(data, 8)
+        assert inserts == 8
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", [StlPqTopK, HandPqTopK])
+    @pytest.mark.parametrize("n,k", [(10, 3), (1000, 32), (10000, 500)])
+    def test_matches_reference(self, cls, n, k, rng):
+        data = rng.random(n).astype(np.float32)
+        result = cls().run(data, k)
+        expected, _ = reference_topk(data, k)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    @pytest.mark.parametrize("cls", [StlPqTopK, HandPqTopK])
+    def test_fewer_elements_than_cores(self, cls, rng):
+        data = rng.random(3).astype(np.float32)
+        result = cls().run(data, 2)
+        expected, _ = reference_topk(data, 2)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestCostModel:
+    def test_uniform_is_memory_bound(self, device):
+        """Figure 15a: with few inserts the scan dominates — about 46 ms
+        for 2 GiB at the modeled CPU's memory bandwidth."""
+        result = HandPqTopK(device).run(uniform_floats(1 << 16), 32, model_n=1 << 29)
+        assert result.simulated_ms(device) == pytest.approx(47, rel=0.15)
+
+    def test_sorted_input_is_60x_worse(self, device):
+        """Figure 15b: every element updates the heap."""
+        uniform = HandPqTopK(device).run(
+            uniform_floats(1 << 16), 32, model_n=1 << 29
+        )
+        sorted_input = HandPqTopK(device).run(
+            increasing(1 << 16), 32, model_n=1 << 29
+        )
+        ratio = sorted_input.simulated_ms(device) / uniform.simulated_ms(device)
+        assert 10 < ratio < 40
+
+    def test_stl_twice_the_hand_optimized_on_sorted(self, device):
+        """Figure 15b: pop+push costs twice the in-place replacement."""
+        data = increasing(1 << 16)
+        stl = StlPqTopK(device).run(data, 32, model_n=1 << 29)
+        hand = HandPqTopK(device).run(data, 32, model_n=1 << 29)
+        ratio = stl.simulated_ms(device) / hand.simulated_ms(device)
+        assert ratio == pytest.approx(2.0, rel=0.2)
+
+    def test_gpu_bitonic_60x_faster_on_sorted(self, device):
+        from repro.bitonic.topk import BitonicTopK
+
+        data = increasing(1 << 16)
+        cpu = HandPqTopK(device).run(data, 32, model_n=1 << 29)
+        gpu = BitonicTopK(device).run(data, 32, model_n=1 << 29)
+        ratio = cpu.simulated_ms(device) / gpu.simulated_ms(device)
+        assert 40 < ratio < 120

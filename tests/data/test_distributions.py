@@ -1,0 +1,104 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    bucket_killer,
+    decreasing,
+    generate,
+    increasing,
+    list_distributions,
+    uniform_doubles,
+    uniform_floats,
+    uniform_uints,
+    zipf_integers,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestUniform:
+    def test_floats_shape_and_range(self):
+        values = uniform_floats(1000)
+        assert values.dtype == np.float32
+        assert len(values) == 1000
+        assert (values >= 0).all() and (values < 1).all()
+
+    def test_doubles(self):
+        assert uniform_doubles(100).dtype == np.float64
+
+    def test_uints_span_the_word(self):
+        values = uniform_uints(1 << 16)
+        assert values.dtype == np.uint32
+        assert values.max() > 2**31  # high bit actually exercised
+
+    def test_seed_determinism(self):
+        assert np.array_equal(uniform_floats(100, seed=1), uniform_floats(100, seed=1))
+        assert not np.array_equal(
+            uniform_floats(100, seed=1), uniform_floats(100, seed=2)
+        )
+
+
+class TestSorted:
+    def test_increasing_is_sorted(self):
+        values = increasing(500)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_decreasing_is_reversed_increasing(self):
+        assert np.array_equal(decreasing(500, seed=9), increasing(500, seed=9)[::-1])
+
+
+class TestBucketKiller:
+    def test_structure(self):
+        values = bucket_killer(10000)
+        ones = values == np.float32(1.0)
+        assert ones.sum() == 10000 - 4
+        specials = values[~ones]
+        one_bits = np.float32(1.0).view(np.uint32)
+        for special in specials:
+            difference = int(special.view(np.uint32)) ^ int(one_bits)
+            # Exactly one 8-bit digit differs.
+            digits = [(difference >> (8 * d)) & 0xFF for d in range(4)]
+            assert sum(1 for digit in digits if digit) == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(InvalidParameterError):
+            bucket_killer(4)
+
+
+class TestZipf:
+    def test_range_and_dtype(self):
+        values = zipf_integers(10000, 100)
+        assert values.dtype == np.int64
+        assert values.min() >= 0
+        assert values.max() < 100
+
+    def test_skew_concentrates_mass(self):
+        values = zipf_integers(100000, 1000, skew=1.3)
+        _, counts = np.unique(values, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(values)
+        assert top_share > 0.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_integers(10, 0)
+        with pytest.raises(InvalidParameterError):
+            zipf_integers(10, 5, skew=-1)
+
+
+class TestRegistry:
+    def test_generate_by_name(self):
+        values = generate("increasing", 100)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_all_registered_names_work(self):
+        for name in list_distributions():
+            assert len(generate(name, 64)) == 64
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            generate("pareto", 10)
+
+    def test_negative_n(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_floats(-1)

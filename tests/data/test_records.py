@@ -1,0 +1,87 @@
+"""Tests for key/value record batches (Section 6.6 workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import RecordBatch, gather_payload, make_batch
+from repro.errors import InvalidParameterError
+
+
+class TestMakeBatch:
+    @pytest.mark.parametrize("num_keys", [1, 2, 3])
+    def test_configurations(self, num_keys):
+        batch = make_batch(1000, num_keys=num_keys)
+        assert batch.num_keys == num_keys
+        assert len(batch) == 1000
+        assert batch.row_bytes == 4 * num_keys + 4
+
+    def test_value_column_is_row_ids(self):
+        batch = make_batch(100)
+        assert np.array_equal(batch.values, np.arange(100, dtype=np.int32))
+
+    def test_invalid_key_count(self):
+        with pytest.raises(InvalidParameterError):
+            make_batch(10, num_keys=4)
+
+    def test_total_bytes(self):
+        batch = make_batch(100, num_keys=2)
+        assert batch.total_bytes == 100 * 12
+
+
+class TestValidation:
+    def test_unequal_key_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            RecordBatch(
+                keys=[np.zeros(3), np.zeros(4)], values=np.zeros(3, np.int32)
+            )
+
+    def test_value_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            RecordBatch(keys=[np.zeros(3)], values=np.zeros(4, np.int32))
+
+    def test_empty_keys(self):
+        with pytest.raises(InvalidParameterError):
+            RecordBatch(keys=[], values=np.zeros(3, np.int32))
+
+
+class TestCompositeRank:
+    def test_single_key_is_identity_order(self):
+        batch = make_batch(500, num_keys=1, seed=4)
+        rank = batch.composite_rank()
+        assert np.array_equal(np.argsort(rank), np.argsort(batch.keys[0]))
+
+    def test_secondary_key_breaks_ties(self):
+        primary = np.array([1.0, 1.0, 2.0, 2.0], dtype=np.float32)
+        secondary = np.array([5.0, 9.0, 3.0, 1.0], dtype=np.float32)
+        batch = RecordBatch(
+            keys=[primary, secondary], values=np.arange(4, dtype=np.int32)
+        )
+        order = np.argsort(batch.composite_rank())[::-1]
+        assert order.tolist() == [2, 3, 1, 0]
+
+    def test_primary_key_dominates(self):
+        primary = np.array([1.0, 2.0], dtype=np.float32)
+        secondary = np.array([1000.0, 0.0], dtype=np.float32)
+        batch = RecordBatch(
+            keys=[primary, secondary], values=np.arange(2, dtype=np.int32)
+        )
+        rank = batch.composite_rank()
+        assert rank[1] > rank[0]
+
+
+class TestTakeAndGather:
+    def test_take_selects_rows(self):
+        batch = make_batch(100, num_keys=2, seed=0)
+        subset = batch.take(np.array([5, 10, 15]))
+        assert len(subset) == 3
+        assert np.array_equal(subset.values, [5, 10, 15])
+        assert np.array_equal(subset.keys[1], batch.keys[1][[5, 10, 15]])
+
+    def test_gather_payload(self):
+        payload = {
+            "text": np.array(["a", "b", "c", "d"]),
+            "score": np.array([1, 2, 3, 4]),
+        }
+        gathered = gather_payload(np.array([3, 1]), payload)
+        assert gathered["text"].tolist() == ["d", "b"]
+        assert gathered["score"].tolist() == [4, 2]

@@ -1,0 +1,89 @@
+"""Tests for GROUP BY aggregates (SUM / MIN / MAX / AVG / COUNT)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.table import make_table
+from repro.errors import UnsupportedQueryError
+
+
+@pytest.fixture
+def table():
+    return make_table(
+        "sales",
+        {
+            "region": np.array([0, 1, 0, 1, 2, 0], dtype=np.int32),
+            "amount": np.array([10.0, 20.0, 30.0, 5.0, 7.0, 2.0], dtype=np.float64),
+        },
+    )
+
+
+@pytest.fixture
+def executor(table, device):
+    return QueryExecutor(table, device)
+
+
+class TestAggregates:
+    def test_sum(self, executor):
+        result = executor.sql(
+            "SELECT region, SUM(amount) AS total FROM sales GROUP BY region "
+            "ORDER BY total DESC LIMIT 3"
+        )
+        assert result.column("region").tolist() == [0, 1, 2]
+        assert result.column("total").tolist() == [42.0, 25.0, 7.0]
+
+    def test_max_and_min(self, executor):
+        result = executor.sql(
+            "SELECT region, MAX(amount) AS biggest, MIN(amount) AS smallest "
+            "FROM sales GROUP BY region ORDER BY biggest DESC LIMIT 3"
+        )
+        assert result.column("biggest").tolist() == [30.0, 20.0, 7.0]
+        assert result.column("smallest").tolist() == [2.0, 5.0, 7.0]
+
+    def test_avg(self, executor):
+        result = executor.sql(
+            "SELECT region, AVG(amount) AS mean FROM sales GROUP BY region "
+            "ORDER BY mean DESC LIMIT 3"
+        )
+        assert result.column("mean").tolist() == [14.0, 12.5, 7.0]
+
+    def test_count_alongside_sum(self, executor):
+        result = executor.sql(
+            "SELECT region, COUNT() AS n, SUM(amount) AS total FROM sales "
+            "GROUP BY region ORDER BY n DESC LIMIT 1"
+        )
+        assert result.column("n").tolist() == [3]
+        assert result.column("total").tolist() == [42.0]
+
+    def test_aggregate_of_expression(self, executor):
+        result = executor.sql(
+            "SELECT region, SUM(amount * 2) AS doubled FROM sales "
+            "GROUP BY region ORDER BY doubled DESC LIMIT 1"
+        )
+        assert result.column("doubled").tolist() == [84.0]
+
+    def test_order_by_group_column(self, executor):
+        result = executor.sql(
+            "SELECT region, COUNT() AS n FROM sales GROUP BY region "
+            "ORDER BY region ASC LIMIT 3"
+        )
+        assert result.column("region").tolist() == [0, 1, 2]
+
+    def test_with_filter(self, executor):
+        result = executor.sql(
+            "SELECT region, SUM(amount) AS total FROM sales "
+            "WHERE amount > 6 GROUP BY region ORDER BY total DESC LIMIT 3"
+        )
+        assert result.column("total").tolist() == [40.0, 20.0, 7.0]
+
+    def test_order_by_unknown_alias_rejected(self, executor):
+        with pytest.raises(UnsupportedQueryError):
+            executor.sql(
+                "SELECT region, COUNT() AS n FROM sales GROUP BY region "
+                "ORDER BY amount DESC LIMIT 3"
+            )
+
+    def test_group_by_without_aggregate_rejected(self, executor):
+        with pytest.raises(UnsupportedQueryError):
+            executor.sql("SELECT region FROM sales GROUP BY region LIMIT 1")

@@ -1,0 +1,103 @@
+"""Detailed tests of the executor's trace accounting."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.table import make_table
+from repro.engine.twitter import generate_tweets, time_threshold_for_selectivity
+
+MODEL = 250_000_000
+
+
+@pytest.fixture(scope="module")
+def tweets():
+    return generate_tweets(1 << 13, seed=11)
+
+
+@pytest.fixture
+def executor(tweets, device):
+    return QueryExecutor(tweets, device)
+
+
+class TestScanWidth:
+    def test_fused_scan_reads_only_referenced_columns(self, executor, device):
+        """Q1 touches tweet_time (4 B), retweet_count (4 B) and id (4 B):
+        the fused kernel's read is 12 B per modeled row."""
+        threshold = time_threshold_for_selectivity(0.5)
+        result = executor.sql(
+            f"SELECT id FROM tweets WHERE tweet_time < {threshold} "
+            "ORDER BY retweet_count DESC LIMIT 50",
+            strategy="fused",
+            model_rows=MODEL,
+        )
+        first = result.trace.kernels[0]
+        assert first.name == "FusedSortReducer"
+        assert first.global_bytes_read == pytest.approx(MODEL * 12)
+
+    def test_projection_only_query_reads_two_columns(self, executor):
+        result = executor.sql(
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50",
+            strategy="fused",
+            model_rows=MODEL,
+        )
+        assert result.trace.kernels[0].global_bytes_read == pytest.approx(
+            MODEL * 8
+        )
+
+
+class TestMaterializationTraffic:
+    def test_sort_strategy_scales_with_selectivity(self, executor):
+        def candidate_bytes(selectivity):
+            threshold = time_threshold_for_selectivity(selectivity)
+            result = executor.sql(
+                f"SELECT id FROM tweets WHERE tweet_time < {threshold} "
+                "ORDER BY retweet_count DESC LIMIT 50",
+                strategy="sort",
+                model_rows=MODEL,
+            )
+            materialize = result.trace.kernels[0]
+            return materialize.global_bytes_written
+
+        assert candidate_bytes(0.8) == pytest.approx(4 * candidate_bytes(0.2),
+                                                     rel=0.1)
+
+    def test_fused_records_selectivity_note(self, executor):
+        threshold = time_threshold_for_selectivity(0.3)
+        result = executor.sql(
+            f"SELECT id FROM tweets WHERE tweet_time < {threshold} "
+            "ORDER BY retweet_count DESC LIMIT 50",
+            strategy="fused",
+            model_rows=MODEL,
+        )
+        assert result.trace.notes["selectivity"] == pytest.approx(0.3, abs=0.02)
+
+
+class TestGroupByTrace:
+    def test_aggregation_kernel_reads_the_group_column(self, executor, tweets):
+        result = executor.sql(
+            "SELECT uid, COUNT() AS n FROM tweets GROUP BY uid "
+            "ORDER BY n DESC LIMIT 50",
+            strategy="topk",
+            model_rows=MODEL,
+        )
+        aggregate = result.trace.kernels[0]
+        assert aggregate.name == "hash-aggregate"
+        expected = MODEL * tweets.column("uid").dtype.itemsize
+        assert aggregate.global_bytes_read == pytest.approx(expected)
+        assert aggregate.atomic_ops == pytest.approx(MODEL)
+
+
+class TestScanTrace:
+    def test_plain_filter_writes_selected_rows(self, device):
+        table = make_table(
+            "small",
+            {"a": np.arange(100, dtype=np.int32),
+             "b": np.arange(100, dtype=np.int32)},
+        )
+        executor = QueryExecutor(table, device)
+        result = executor.sql("SELECT a, b FROM small WHERE a < 50",
+                              model_rows=1 << 20)
+        scan = result.trace.kernels[0]
+        # Half the rows survive; each full row is 8 bytes.
+        assert scan.global_bytes_written == pytest.approx((1 << 20) * 0.5 * 8)

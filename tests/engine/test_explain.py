@@ -1,0 +1,59 @@
+"""Tests for EXPLAIN."""
+
+import pytest
+
+from repro.engine.session import Session
+from repro.engine.twitter import generate_tweets
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = Session()
+    session.register(generate_tweets(1 << 13, seed=5))
+    return session
+
+
+class TestExplain:
+    def test_recommends_fused_for_filtered_topk(self, session):
+        plan = session.explain(
+            "SELECT id FROM tweets WHERE lang = 'en' "
+            "ORDER BY retweet_count DESC LIMIT 50",
+            model_rows=250_000_000,
+        )
+        assert plan.recommended == "fused"
+        assert len(plan.strategies) == 3
+        costs = [strategy.simulated_ms for strategy in plan.strategies]
+        assert costs == sorted(costs)
+
+    def test_group_by_offers_two_strategies(self, session):
+        plan = session.explain(
+            "SELECT uid, COUNT() AS n FROM tweets GROUP BY uid "
+            "ORDER BY n DESC LIMIT 10"
+        )
+        assert {strategy.strategy for strategy in plan.strategies} == {
+            "sort",
+            "topk",
+        }
+        assert plan.recommended == "topk"
+
+    def test_render_contains_pipeline_stages(self, session):
+        plan = session.explain(
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+            model_rows=1_000_000,
+        )
+        text = plan.render()
+        assert "EXPLAIN" in text
+        assert "FusedSortReducer" in text
+        assert "radix sort" in text
+        assert "->" in text
+
+    def test_model_rows_scale_the_costs(self, session):
+        small = session.explain(
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+            model_rows=1_000_000,
+        )
+        large = session.explain(
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+            model_rows=250_000_000,
+        )
+        assert large.strategies[0].simulated_ms > small.strategies[0].simulated_ms

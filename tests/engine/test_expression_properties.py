@@ -1,0 +1,103 @@
+"""Property tests: expression evaluation agrees with numpy semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expressions import BinaryOp, Column, Literal, Not
+from repro.engine.table import make_table
+
+_ARITHMETIC = ["+", "-", "*"]
+_COMPARISON = ["<", "<=", ">", ">=", "=", "!="]
+
+_NUMPY_COMPARE = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _table_from(a, b):
+    return make_table("t", {"a": np.asarray(a), "b": np.asarray(b)})
+
+
+@st.composite
+def columns_pair(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    elements = st.integers(min_value=-1000, max_value=1000)
+    a = draw(st.lists(elements, min_size=n, max_size=n))
+    b = draw(st.lists(elements, min_size=n, max_size=n))
+    return np.array(a, dtype=np.int64), np.array(b, dtype=np.int64)
+
+
+class TestArithmeticSemantics:
+    @given(data=columns_pair(), op=st.sampled_from(_ARITHMETIC))
+    @settings(max_examples=60, deadline=None)
+    def test_column_column_matches_numpy(self, data, op):
+        a, b = data
+        table = _table_from(a, b)
+        expression = BinaryOp(op, Column("a"), Column("b"))
+        expected = {"+": a + b, "-": a - b, "*": a * b}[op]
+        assert np.array_equal(expression.evaluate(table), expected)
+
+    @given(data=columns_pair(), literal=st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_literal_operand_broadcasts(self, data, literal):
+        a, b = data
+        table = _table_from(a, b)
+        expression = BinaryOp("+", Column("a"), Literal(literal))
+        assert np.array_equal(expression.evaluate(table), a + literal)
+
+
+class TestComparisonSemantics:
+    @given(data=columns_pair(), op=st.sampled_from(_COMPARISON))
+    @settings(max_examples=60, deadline=None)
+    def test_column_column(self, data, op):
+        a, b = data
+        table = _table_from(a, b)
+        expression = BinaryOp(op, Column("a"), Column("b"))
+        assert np.array_equal(
+            expression.evaluate(table), _NUMPY_COMPARE[op](a, b)
+        )
+
+    @given(data=columns_pair(), op=st.sampled_from(_COMPARISON),
+           literal=st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_literal_on_either_side(self, data, op, literal):
+        a, b = data
+        table = _table_from(a, b)
+        right_literal = BinaryOp(op, Column("a"), Literal(literal))
+        left_literal = BinaryOp(op, Literal(literal), Column("a"))
+        assert np.array_equal(
+            right_literal.evaluate(table), _NUMPY_COMPARE[op](a, literal)
+        )
+        assert np.array_equal(
+            left_literal.evaluate(table), _NUMPY_COMPARE[op](literal, a)
+        )
+
+
+class TestBooleanAlgebra:
+    @given(data=columns_pair(), threshold=st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan(self, data, threshold):
+        a, b = data
+        table = _table_from(a, b)
+        p = BinaryOp("<", Column("a"), Literal(threshold))
+        q = BinaryOp(">", Column("b"), Literal(threshold))
+        not_and = Not(BinaryOp("and", p, q)).evaluate(table)
+        or_nots = BinaryOp("or", Not(p), Not(q)).evaluate(table)
+        assert np.array_equal(not_and, or_nots)
+
+    @given(data=columns_pair(), threshold=st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, data, threshold):
+        a, b = data
+        table = _table_from(a, b)
+        p = BinaryOp(">=", Column("a"), Literal(threshold))
+        assert np.array_equal(
+            Not(Not(p)).evaluate(table), p.evaluate(table).astype(bool)
+        )

@@ -1,0 +1,119 @@
+"""Tests for the expression AST and its vectorized evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    BinaryOp,
+    Column,
+    Literal,
+    Not,
+    column_width,
+)
+from repro.engine.table import make_table
+from repro.errors import UnsupportedQueryError
+
+
+@pytest.fixture
+def table():
+    return make_table(
+        "t",
+        {
+            "a": np.array([1, 2, 3, 4], dtype=np.int32),
+            "b": np.array([10.0, 20.0, 30.0, 40.0], dtype=np.float32),
+            "lang": ["en", "es", "en", "ja"],
+        },
+    )
+
+
+class TestArithmetic:
+    def test_column_plus_literal(self, table):
+        expression = BinaryOp("+", Column("a"), Literal(10))
+        assert expression.evaluate(table).tolist() == [11, 12, 13, 14]
+
+    def test_ranking_function_shape(self, table):
+        """The paper's Q2 ranking: retweet_count + 0.5 * likes_count."""
+        expression = BinaryOp(
+            "+", Column("a"), BinaryOp("*", Literal(0.5), Column("b"))
+        )
+        assert expression.evaluate(table).tolist() == [6.0, 12.0, 18.0, 24.0]
+
+    def test_division(self, table):
+        expression = BinaryOp("/", Column("b"), Literal(10))
+        assert expression.evaluate(table).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestComparison:
+    def test_less_than(self, table):
+        expression = BinaryOp("<", Column("a"), Literal(3))
+        assert expression.evaluate(table).tolist() == [True, True, False, False]
+
+    def test_literal_on_the_left_flips(self, table):
+        expression = BinaryOp("<", Literal(3), Column("a"))
+        assert expression.evaluate(table).tolist() == [False, False, False, True]
+
+    def test_column_to_column(self, table):
+        expression = BinaryOp(">=", Column("b"), Column("a"))
+        assert expression.evaluate(table).all()
+
+
+class TestStrings:
+    def test_string_equality_via_dictionary(self, table):
+        expression = BinaryOp("=", Column("lang"), Literal("en"))
+        assert expression.evaluate(table).tolist() == [True, False, True, False]
+
+    def test_string_inequality(self, table):
+        expression = BinaryOp("!=", Column("lang"), Literal("en"))
+        assert expression.evaluate(table).tolist() == [False, True, False, True]
+
+    def test_missing_string_matches_nothing(self, table):
+        expression = BinaryOp("=", Column("lang"), Literal("zz"))
+        assert not expression.evaluate(table).any()
+
+    def test_string_range_predicate_rejected(self, table):
+        expression = BinaryOp("<", Column("lang"), Literal("en"))
+        with pytest.raises(UnsupportedQueryError):
+            expression.evaluate(table)
+
+
+class TestBoolean:
+    def test_or(self, table):
+        expression = BinaryOp(
+            "or",
+            BinaryOp("=", Column("lang"), Literal("en")),
+            BinaryOp("=", Column("lang"), Literal("es")),
+        )
+        assert expression.evaluate(table).tolist() == [True, True, True, False]
+
+    def test_and(self, table):
+        expression = BinaryOp(
+            "and",
+            BinaryOp(">", Column("a"), Literal(1)),
+            BinaryOp("<", Column("b"), Literal(40)),
+        )
+        assert expression.evaluate(table).tolist() == [False, True, True, False]
+
+    def test_not(self, table):
+        expression = Not(BinaryOp(">", Column("a"), Literal(2)))
+        assert expression.evaluate(table).tolist() == [True, True, False, False]
+
+
+class TestMetadata:
+    def test_referenced_columns(self, table):
+        expression = BinaryOp(
+            "+", Column("a"), BinaryOp("*", Literal(0.5), Column("b"))
+        )
+        assert expression.referenced_columns() == {"a", "b"}
+
+    def test_column_width_sums_input_bytes(self, table):
+        expression = BinaryOp("+", Column("a"), Column("b"))
+        assert column_width(expression, table) == 8  # int32 + float32
+
+    def test_str_rendering(self):
+        expression = BinaryOp("<", Column("x"), Literal(5))
+        assert str(expression) == "(x < 5)"
+        assert str(Literal("en")) == "'en'"
+
+    def test_bare_literal_cannot_evaluate(self, table):
+        with pytest.raises(UnsupportedQueryError):
+            Literal(1).evaluate(table)

@@ -1,0 +1,82 @@
+"""Tests for table ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.loader import from_csv, from_csv_text, from_rows
+from repro.errors import InvalidParameterError
+
+CSV = """id,score,lang
+0,1.5,en
+1,3.25,es
+2,0.5,en
+3,9.75,ja
+"""
+
+
+class TestFromCsv:
+    def test_types_inferred(self):
+        table = from_csv_text("t", CSV)
+        assert table.column("id").dtype == np.int64
+        assert table.column("score").dtype == np.float64
+        assert table.is_string_column("lang")
+        assert table.num_rows == 4
+
+    def test_queryable_end_to_end(self):
+        table = from_csv_text("t", CSV)
+        result = QueryExecutor(table).sql(
+            "SELECT id FROM t WHERE lang = 'en' ORDER BY score DESC LIMIT 2"
+        )
+        assert result.column("id").tolist() == [0, 2]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(CSV)
+        table = from_csv("t", path)
+        assert table.num_rows == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            from_csv("t", tmp_path / "nope.csv")
+
+    def test_empty_input(self):
+        with pytest.raises(InvalidParameterError):
+            from_csv_text("t", "")
+
+    def test_header_only(self):
+        with pytest.raises(InvalidParameterError):
+            from_csv_text("t", "a,b\n")
+
+    def test_ragged_rows(self):
+        with pytest.raises(InvalidParameterError):
+            from_csv_text("t", "a,b\n1,2\n3\n")
+
+    def test_duplicate_columns(self):
+        with pytest.raises(InvalidParameterError):
+            from_csv_text("t", "a,a\n1,2\n")
+
+    def test_alternate_delimiter(self):
+        table = from_csv_text("t", "a;b\n1;2\n3;4\n", delimiter=";")
+        assert table.column("b").tolist() == [2, 4]
+
+
+class TestFromRows:
+    def test_dictionaries(self):
+        table = from_rows(
+            "t",
+            [
+                {"name": "alpha", "score": 3},
+                {"name": "beta", "score": 5},
+            ],
+        )
+        assert table.is_string_column("name")
+        assert table.column("score").tolist() == [3, 5]
+
+    def test_empty(self):
+        with pytest.raises(InvalidParameterError):
+            from_rows("t", [])
+
+    def test_mismatched_keys(self):
+        with pytest.raises(InvalidParameterError):
+            from_rows("t", [{"a": 1}, {"b": 2}])

@@ -1,0 +1,126 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.engine.expressions import BinaryOp, Column, Literal
+from repro.engine.sql import parse
+from repro.errors import SqlSyntaxError
+
+
+class TestPaperQueries:
+    """All four Section 6.8 queries must parse."""
+
+    def test_query_1(self):
+        query = parse(
+            "SELECT id FROM tweets WHERE tweet_time < 100 "
+            "ORDER BY retweet_count DESC LIMIT 50"
+        )
+        assert query.table == "tweets"
+        assert query.select[0].alias == "id"
+        assert str(query.where) == "(tweet_time < 100)"
+        assert query.order_desc
+        assert query.limit == 50
+
+    def test_query_2(self):
+        query = parse(
+            "SELECT id FROM tweets "
+            "ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 10"
+        )
+        assert str(query.order_by) == "(retweet_count + (0.5 * likes_count))"
+
+    def test_query_3(self):
+        query = parse(
+            "SELECT id FROM tweets WHERE lang='en' OR lang='es' "
+            "ORDER BY retweet_count DESC LIMIT 5"
+        )
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == "or"
+
+    def test_query_4(self):
+        query = parse(
+            "SELECT uid, COUNT() AS num_tweets FROM tweets GROUP BY uid "
+            "ORDER BY num_tweets DESC LIMIT 50"
+        )
+        assert query.group_by == ["uid"]
+        assert query.select[1].is_count
+        assert query.select[1].alias == "num_tweets"
+
+
+class TestGrammar:
+    def test_keywords_case_insensitive(self):
+        query = parse("select a from t where a > 1 order by a limit 3")
+        assert query.limit == 3
+        assert not query.order_desc
+
+    def test_ascending_default_and_explicit(self):
+        assert not parse("SELECT a FROM t ORDER BY a").order_desc
+        assert not parse("SELECT a FROM t ORDER BY a ASC").order_desc
+        assert parse("SELECT a FROM t ORDER BY a DESC").order_desc
+
+    def test_multiplication_binds_tighter_than_addition(self):
+        query = parse("SELECT a FROM t ORDER BY a + b * c")
+        assert str(query.order_by) == "(a + (b * c))"
+
+    def test_parentheses_override_precedence(self):
+        query = parse("SELECT a FROM t ORDER BY (a + b) * c")
+        assert str(query.order_by) == "((a + b) * c)"
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert query.where.op == "or"
+        assert query.where.right.op == "and"
+
+    def test_boolean_grouping(self):
+        query = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert query.where.op == "and"
+        assert query.where.left.op == "or"
+
+    def test_not_predicate(self):
+        query = parse("SELECT a FROM t WHERE NOT a = 1")
+        assert str(query.where) == "(not (a = 1))"
+
+    def test_not_equal_spellings(self):
+        assert parse("SELECT a FROM t WHERE a != 1").where.op == "!="
+        assert parse("SELECT a FROM t WHERE a <> 1").where.op == "!="
+
+    def test_select_alias(self):
+        query = parse("SELECT a + b AS total FROM t")
+        assert query.select[0].alias == "total"
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse("SELECT a FROM t;").table == "t"
+
+    def test_string_literal(self):
+        query = parse("SELECT a FROM t WHERE lang = 'en'")
+        assert isinstance(query.where.right, Literal)
+        assert query.where.right.value == "en"
+
+    def test_count_star(self):
+        query = parse("SELECT uid, COUNT(*) AS n FROM t GROUP BY uid")
+        assert query.select[1].is_count
+
+    def test_float_literals(self):
+        query = parse("SELECT a FROM t WHERE a < 0.5")
+        assert query.where.right.value == 0.5
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a WHERE a > 1")
+
+    def test_garbage_token(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t WHERE a @ 1")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t ORDER BY (a + b")
+
+    def test_truncated_query(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t WHERE")
+
+    def test_keyword_in_expression(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t ORDER BY select")

@@ -1,0 +1,143 @@
+"""Fuzz tests for the SQL parser.
+
+Two properties:
+
+1. **No surprise exceptions** — arbitrary text must either parse or raise
+   :class:`SqlSyntaxError`; any other exception is a parser bug.
+2. **Round-trip** — queries *generated from the grammar* must parse, and
+   re-rendering their expressions must be stable (parse(render(ast)) has
+   the same structure).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.sql import parse
+from repro.engine.table import make_table
+from repro.errors import SqlSyntaxError
+
+_COLUMNS = ("a", "b", "c")
+
+_number = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0, max_value=100, allow_nan=False).map(
+        lambda value: round(value, 3)
+    ),
+)
+
+
+def _atoms():
+    return st.one_of(
+        st.sampled_from(_COLUMNS),
+        _number.map(str),
+    )
+
+
+@st.composite
+def arithmetic(draw, depth=2):
+    if depth == 0:
+        return draw(_atoms())
+    left = draw(arithmetic(depth=depth - 1))
+    right = draw(arithmetic(depth=depth - 1))
+    operator = draw(st.sampled_from(["+", "-", "*"]))
+    if draw(st.booleans()):
+        return f"({left} {operator} {right})"
+    return f"{left} {operator} {right}"
+
+
+@st.composite
+def predicate(draw):
+    left = draw(arithmetic(depth=1))
+    operator = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    right = draw(_number.map(str))
+    return f"{left} {operator} {right}"
+
+
+@st.composite
+def where_clause(draw):
+    terms = draw(st.lists(predicate(), min_size=1, max_size=3))
+    connectors = draw(
+        st.lists(st.sampled_from(["AND", "OR"]), min_size=len(terms) - 1,
+                 max_size=len(terms) - 1)
+    )
+    clause = terms[0]
+    for connector, term in zip(connectors, terms[1:]):
+        clause = f"{clause} {connector} {term}"
+    return clause
+
+
+@st.composite
+def grammar_query(draw):
+    select = ", ".join(
+        draw(st.lists(st.sampled_from(_COLUMNS), min_size=1, max_size=3,
+                      unique=True))
+    )
+    sql = f"SELECT {select} FROM t"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(where_clause())}"
+    if draw(st.booleans()):
+        direction = draw(st.sampled_from(["", " ASC", " DESC"]))
+        sql += f" ORDER BY {draw(arithmetic(depth=1))}{direction}"
+        sql += f" LIMIT {draw(st.integers(min_value=1, max_value=50))}"
+    return sql
+
+
+class TestFuzzArbitraryText:
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_never_raises_anything_but_syntax_errors(self, text):
+        try:
+            parse(text)
+        except SqlSyntaxError:
+            pass
+
+    @given(
+        text=st.text(
+            alphabet="SELECT FROM WHERE ORDER BY LIMIT abc012<>=()'*+-,",
+            max_size=120,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sql_shaped_garbage(self, text):
+        try:
+            parse(text)
+        except SqlSyntaxError:
+            pass
+
+
+class TestGrammarQueries:
+    @given(sql=grammar_query())
+    @settings(max_examples=150, deadline=None)
+    def test_generated_queries_parse(self, sql):
+        query = parse(sql)
+        assert query.table == "t"
+        assert query.select
+
+    @given(sql=grammar_query())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_queries_execute(self, sql):
+        """Parsed grammar queries must execute without crashing and return
+        columns of equal length."""
+        table = make_table(
+            "t",
+            {
+                "a": np.arange(32, dtype=np.int32),
+                "b": np.arange(32, dtype=np.int32)[::-1].copy(),
+                "c": np.ones(32, dtype=np.float32),
+            },
+        )
+        executor = QueryExecutor(table)
+        result = executor.sql(sql)
+        lengths = {len(column) for column in result.columns.values()}
+        assert len(lengths) <= 1
+
+    @given(sql=grammar_query())
+    @settings(max_examples=60, deadline=None)
+    def test_expression_rendering_is_reparseable(self, sql):
+        query = parse(sql)
+        if query.where is None:
+            return
+        reparsed = parse(f"SELECT a FROM t WHERE {query.where}")
+        assert str(reparsed.where) == str(query.where)

@@ -1,0 +1,64 @@
+"""Tests for columnar tables and dictionary encoding."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table, make_table
+from repro.errors import InvalidParameterError
+
+
+class TestMakeTable:
+    def test_numeric_columns_preserved(self):
+        table = make_table("t", {"a": np.arange(4), "b": np.ones(4, np.float32)})
+        assert table.num_rows == 4
+        assert table.column("a").dtype == np.int64
+        assert not table.is_string_column("a")
+
+    def test_string_columns_dictionary_encoded(self):
+        table = make_table("t", {"lang": ["en", "es", "en", "ja"]})
+        codes = table.column("lang")
+        assert codes.dtype == np.int32
+        assert table.is_string_column("lang")
+        assert table.decode_strings("lang", codes) == ["en", "es", "en", "ja"]
+
+    def test_encode_string_roundtrip(self):
+        table = make_table("t", {"lang": ["en", "es"]})
+        assert table.encode_string("lang", "es") == table.column("lang")[1]
+
+    def test_encode_missing_string_is_minus_one(self):
+        table = make_table("t", {"lang": ["en"]})
+        assert table.encode_string("lang", "xx") == -1
+
+    def test_encode_string_on_numeric_column_rejected(self):
+        table = make_table("t", {"a": np.arange(3)})
+        with pytest.raises(InvalidParameterError):
+            table.encode_string("a", "en")
+
+
+class TestValidation:
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table("t", {})
+
+    def test_missing_column_lists_alternatives(self):
+        table = make_table("t", {"alpha": np.arange(2)})
+        with pytest.raises(InvalidParameterError, match="alpha"):
+            table.column("beta")
+
+
+class TestSizes:
+    def test_column_bytes(self):
+        table = make_table("t", {"a": np.arange(10, dtype=np.int32)})
+        assert table.column_bytes("a") == 40
+
+    def test_row_bytes_all_columns(self):
+        table = make_table(
+            "t",
+            {"a": np.arange(5, dtype=np.int32), "b": np.ones(5, dtype=np.float64)},
+        )
+        assert table.row_bytes() == 12
+        assert table.row_bytes(["a"]) == 4

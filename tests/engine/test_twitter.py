@@ -1,0 +1,86 @@
+"""Tests for the synthetic twitter dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.twitter import (
+    LANGUAGES,
+    MAY_2017_END,
+    MAY_2017_START,
+    generate_tweets,
+    time_threshold_for_selectivity,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSchema:
+    def test_columns(self):
+        table = generate_tweets(1000)
+        assert set(table.column_names) == {
+            "id",
+            "uid",
+            "tweet_time",
+            "retweet_count",
+            "likes_count",
+            "lang",
+        }
+        assert table.num_rows == 1000
+        assert table.is_string_column("lang")
+
+    def test_deterministic_by_seed(self):
+        first = generate_tweets(500, seed=3)
+        second = generate_tweets(500, seed=3)
+        assert np.array_equal(first.column("uid"), second.column("uid"))
+        different = generate_tweets(500, seed=4)
+        assert not np.array_equal(first.column("uid"), different.column("uid"))
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            generate_tweets(0)
+
+
+class TestDistributions:
+    def test_user_count_ratio(self):
+        """~57M distinct users per 250M tweets, scaled down."""
+        table = generate_tweets(1 << 16)
+        distinct = len(np.unique(table.column("uid")))
+        assert distinct < (1 << 16) * 0.35
+
+    def test_user_skew_has_heavy_hitters(self):
+        table = generate_tweets(1 << 16)
+        _, counts = np.unique(table.column("uid"), return_counts=True)
+        assert counts.max() > 20 * np.median(counts)
+
+    def test_times_span_may_2017(self):
+        table = generate_tweets(1 << 14)
+        times = table.column("tweet_time")
+        assert times.min() >= MAY_2017_START
+        assert times.max() < MAY_2017_END
+
+    def test_language_mix(self):
+        table = generate_tweets(1 << 16)
+        langs = np.array(table.decode_strings("lang", table.column("lang")))
+        assert set(np.unique(langs)) <= set(LANGUAGES)
+        en_es = np.isin(langs, ["en", "es"]).mean()
+        assert en_es == pytest.approx(0.8, abs=0.03)
+
+    def test_popularity_correlation(self):
+        """Retweets and likes are positively correlated."""
+        table = generate_tweets(1 << 16)
+        correlation = np.corrcoef(
+            table.column("retweet_count"), table.column("likes_count")
+        )[0, 1]
+        assert correlation > 0.3
+
+
+class TestSelectivityThreshold:
+    @pytest.mark.parametrize("selectivity", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_threshold_hits_requested_selectivity(self, selectivity):
+        table = generate_tweets(1 << 16)
+        threshold = time_threshold_for_selectivity(selectivity)
+        actual = (table.column("tweet_time") < threshold).mean()
+        assert actual == pytest.approx(selectivity, abs=0.02)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            time_threshold_for_selectivity(1.5)

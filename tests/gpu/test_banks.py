@@ -1,0 +1,192 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.gpu.banks import (
+    ChunkShape,
+    chunk_conflict_factor,
+    pad_address,
+    single_step_conflict_factor,
+    strided_access_conflict_factor,
+    warp_conflict_factor,
+)
+
+
+class TestWarpConflictFactor:
+    def test_distinct_banks_are_conflict_free(self):
+        assert warp_conflict_factor(range(32)) == 1
+
+    def test_same_word_broadcasts(self):
+        assert warp_conflict_factor([7] * 32) == 1
+
+    def test_distinct_words_same_bank_serialize(self):
+        assert warp_conflict_factor([0, 32], num_banks=32) == 2
+        assert warp_conflict_factor([0, 32, 64, 96], num_banks=32) == 4
+
+    def test_mixed_broadcast_and_conflict(self):
+        # Two distinct words in bank 0, plus broadcasts of each.
+        assert warp_conflict_factor([0, 0, 32, 32], num_banks=32) == 2
+
+    def test_empty_access_is_free(self):
+        assert warp_conflict_factor([]) == 1
+
+    def test_invalid_banks(self):
+        with pytest.raises(InvalidParameterError):
+            warp_conflict_factor([0], num_banks=0)
+
+
+class TestPadAddress:
+    def test_first_row_unchanged(self):
+        for address in range(32):
+            assert pad_address(address, 32) == address
+
+    def test_row_shift_breaks_column_alignment(self):
+        # Words 0 and 32 share bank 0 unpadded but not padded.
+        assert pad_address(32, 32) % 32 == 1
+
+    def test_figure_7_example(self):
+        # With 8 banks, threads reading 4 contiguous words each stop
+        # conflicting after padding (the paper's Figure 7).
+        unpadded = [thread * 4 for thread in range(8)]
+        padded = [pad_address(address, 8) for address in unpadded]
+        assert warp_conflict_factor(unpadded, num_banks=8) > 1
+        assert warp_conflict_factor(padded, num_banks=8) == 1
+
+
+class TestChunkShape:
+    def test_contiguous_detection(self):
+        assert ChunkShape((0, 1, 2, 3)).is_contiguous
+        assert not ChunkShape((0, 1, 2, 4)).is_contiguous
+
+    def test_elements_per_thread(self):
+        assert ChunkShape((0, 1, 2, 3)).elements_per_thread == 16
+
+    def test_covers_distance(self):
+        shape = ChunkShape((0, 1, 4))
+        assert shape.covers_distance(1)
+        assert shape.covers_distance(16)
+        assert not shape.covers_distance(8)
+
+    def test_owned_indices_contiguous(self):
+        shape = ChunkShape((0, 1))
+        assert shape.owned_indices(0) == [0, 1, 2, 3]
+        assert shape.owned_indices(1) == [4, 5, 6, 7]
+
+    def test_owned_indices_strided(self):
+        # Free bits {0, 2}: pairs at distance 4 (the Figure 10 shape).
+        shape = ChunkShape((0, 2))
+        assert shape.owned_indices(0) == [0, 1, 4, 5]
+
+    def test_owned_sets_are_disjoint(self):
+        shape = ChunkShape((0, 1, 3))
+        seen = set()
+        for thread in range(16):
+            owned = set(shape.owned_indices(thread))
+            assert not owned & seen
+            seen |= owned
+
+    def test_bits_deduplicated_and_sorted(self):
+        assert ChunkShape((3, 0, 3)).free_bits == (0, 3)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ChunkShape(())
+        with pytest.raises(InvalidParameterError):
+            ChunkShape((-1,))
+
+
+class TestCombinedStepFactors:
+    """The paper's three optimization regimes."""
+
+    def test_unpadded_contiguous_chunks_conflict_b_way(self):
+        for bits in (2, 3, 4):
+            shape = ChunkShape(tuple(range(bits)))
+            factor = chunk_conflict_factor(shape, padding=False)
+            assert factor == shape.elements_per_thread
+
+    def test_padding_fixes_contiguous_chunks(self):
+        for bits in (2, 3, 4, 5):
+            shape = ChunkShape(tuple(range(bits)))
+            assert chunk_conflict_factor(shape, padding=True) == 1.0
+
+    def test_padding_leaves_strided_chunks_conflicted(self):
+        # Figure 10a: distance above the chunk keeps 2-way conflicts.
+        shape = ChunkShape((0, 1, 2, 4))
+        assert chunk_conflict_factor(shape, padding=True) > 1.0
+
+    def test_chunk_permutation_removes_remaining_conflicts(self):
+        # Figure 10b / Section 4.3: conflict-free for every shape arising
+        # in the kernels at k <= 256.
+        for high_bit in range(3, 9):
+            shape = ChunkShape((0, 1, 2, high_bit))
+            factor = chunk_conflict_factor(
+                shape, padding=True, chunk_permutation=True
+            )
+            assert factor == 1.0
+
+    def test_permutation_never_worse_than_padding_alone(self):
+        for bits in [(0, 1, 2, 3), (0, 1, 2, 5), (1, 2, 3, 4), (2, 3, 4, 5)]:
+            shape = ChunkShape(bits)
+            padded = chunk_conflict_factor(shape, padding=True)
+            permuted = chunk_conflict_factor(
+                shape, padding=True, chunk_permutation=True
+            )
+            assert permuted <= padded
+
+    @given(
+        bits=st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_factor_is_at_least_one(self, bits):
+        shape = ChunkShape(tuple(bits))
+        for padding in (False, True):
+            assert chunk_conflict_factor(shape, padding=padding) >= 1.0
+
+
+class TestSingleStepFactor:
+    def test_small_distances_conflict_two_way(self):
+        # Below the warp-spanning distance the two pair halves land on the
+        # same 16 banks twice.
+        for distance in (1, 2, 4, 8, 16):
+            assert single_step_conflict_factor(distance) == 2.0
+
+    def test_warp_spanning_distances_are_free(self):
+        for distance in (32, 64, 1024):
+            assert single_step_conflict_factor(distance) == 1.0
+
+    def test_distance_must_be_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            single_step_conflict_factor(3)
+        with pytest.raises(InvalidParameterError):
+            single_step_conflict_factor(0)
+
+
+class TestStridedAccess:
+    def test_unit_stride_is_free(self):
+        assert strided_access_conflict_factor(1) == 1
+
+    @given(exponent=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_power_of_two_stride_matches_gcd_rule(self, exponent):
+        stride = 1 << exponent
+        expected = min(math.gcd(stride, 32) * 1, 32)
+        assert strided_access_conflict_factor(stride) == min(expected, 32)
+
+
+class TestOwnedIndexAlgebra:
+    def test_each_thread_owns_exactly_b_elements(self):
+        shape = ChunkShape((0, 2, 5))
+        for thread in range(8):
+            assert len(shape.owned_indices(thread)) == 8
+
+    def test_owned_sets_cover_a_dense_prefix(self):
+        shape = ChunkShape((0, 1, 2))
+        covered = set()
+        for thread in range(8):
+            covered |= set(shape.owned_indices(thread))
+        assert covered == set(range(64))

@@ -1,0 +1,57 @@
+"""Tests for global-memory coalescing analysis."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.gpu.coalescing import (
+    coalescing_efficiency,
+    strided_loop_efficiency,
+    warp_transactions,
+)
+
+
+class TestWarpTransactions:
+    def test_consecutive_words_coalesce(self):
+        # 32 consecutive 4-byte words = 128 bytes = 4 segments of 32 bytes.
+        addresses = [thread * 4 for thread in range(32)]
+        assert warp_transactions(addresses) == 4
+
+    def test_scattered_accesses_blow_up(self):
+        addresses = [thread * 4096 for thread in range(32)]
+        assert warp_transactions(addresses) == 32
+
+    def test_same_segment_single_transaction(self):
+        assert warp_transactions([0, 4, 8, 12]) == 1
+
+    def test_empty_access_counts_one(self):
+        assert warp_transactions([]) == 1
+
+    def test_invalid_transaction_size(self):
+        with pytest.raises(InvalidParameterError):
+            warp_transactions([0], transaction_bytes=0)
+
+
+class TestEfficiency:
+    def test_perfectly_coalesced(self):
+        addresses = [thread * 4 for thread in range(32)]
+        assert coalescing_efficiency(addresses) == 1.0
+
+    def test_fully_scattered(self):
+        addresses = [thread * 4096 for thread in range(32)]
+        assert coalescing_efficiency(addresses) == pytest.approx(4 / 32)
+
+    def test_empty_is_neutral(self):
+        assert coalescing_efficiency([]) == 1.0
+
+
+class TestLoopOrders:
+    """Why Algorithm 1 iterates with a stride of num_threads."""
+
+    def test_paper_loop_order_is_coalesced(self):
+        assert strided_loop_efficiency(16384, 1024) == 1.0
+
+    def test_contiguous_partitions_scatter(self):
+        efficiency = strided_loop_efficiency(
+            16384, 1024, contiguous_per_thread=True
+        )
+        assert efficiency < 0.2

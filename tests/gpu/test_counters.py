@@ -1,0 +1,91 @@
+"""Tests for kernel counters and execution traces."""
+
+import pytest
+
+from repro.gpu.counters import ExecutionTrace, KernelCounters
+
+
+class TestKernelCounters:
+    def test_global_traffic_sums_reads_and_writes(self):
+        counters = KernelCounters()
+        counters.add_global_read(100.0)
+        counters.add_global_write(50.0)
+        assert counters.global_bytes == 150.0
+
+    def test_shared_conflict_weighting(self):
+        counters = KernelCounters()
+        counters.add_shared(100.0, conflict_factor=2.0)
+        assert counters.shared_bytes == 100.0
+        assert counters.shared_bytes_weighted == 200.0
+
+    def test_conflict_factor_below_one_rejected(self):
+        counters = KernelCounters()
+        with pytest.raises(ValueError):
+            counters.add_shared(10.0, conflict_factor=0.5)
+
+    def test_merge_accumulates_everything(self):
+        first = KernelCounters(global_bytes_read=10.0, atomic_ops=5.0)
+        second = KernelCounters(
+            global_bytes_written=20.0, divergent_iterations=3.0, fixed_seconds=0.1
+        )
+        first.merge(second)
+        assert first.global_bytes == 30.0
+        assert first.atomic_ops == 5.0
+        assert first.divergent_iterations == 3.0
+        assert first.fixed_seconds == 0.1
+
+    def test_scaled_multiplies_traffic(self):
+        counters = KernelCounters(
+            global_bytes_read=10.0,
+            shared_bytes=4.0,
+            shared_bytes_weighted=8.0,
+            occupancy=0.5,
+        )
+        scaled = counters.scaled(3.0, name="bigger")
+        assert scaled.global_bytes_read == 30.0
+        assert scaled.shared_bytes_weighted == 24.0
+        assert scaled.name == "bigger"
+        assert scaled.occupancy == 0.5  # occupancy is not traffic
+
+    def test_scaled_preserves_original(self):
+        counters = KernelCounters(global_bytes_read=10.0)
+        counters.scaled(2.0)
+        assert counters.global_bytes_read == 10.0
+
+
+class TestExecutionTrace:
+    def test_launch_appends_kernels_in_order(self):
+        trace = ExecutionTrace()
+        trace.launch("first")
+        trace.launch("second")
+        assert [kernel.name for kernel in trace.kernels] == ["first", "second"]
+        assert trace.num_launches == 2
+
+    def test_aggregates_over_kernels(self):
+        trace = ExecutionTrace()
+        trace.launch("a").add_global_read(10.0)
+        trace.launch("b").add_global_write(5.0)
+        trace.kernels[0].add_shared(4.0, 2.0)
+        assert trace.global_bytes == 15.0
+        assert trace.shared_bytes == 4.0
+        assert trace.shared_bytes_weighted == 8.0
+
+    def test_extend_merges_notes(self):
+        first = ExecutionTrace()
+        first.launch("a")
+        first.notes["x"] = 1.0
+        second = ExecutionTrace()
+        second.launch("b")
+        second.notes["y"] = 2.0
+        first.extend(second)
+        assert first.num_launches == 2
+        assert first.notes == {"x": 1.0, "y": 2.0}
+
+    def test_scaled_trace(self):
+        trace = ExecutionTrace()
+        trace.launch("a").add_global_read(8.0)
+        trace.notes["passes"] = 4
+        scaled = trace.scaled(2.0)
+        assert scaled.global_bytes == 16.0
+        assert scaled.notes == {"passes": 4}
+        assert trace.global_bytes == 8.0

@@ -1,0 +1,118 @@
+"""Tests for device profiles and their validation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.gpu.device import (
+    GTX_1080,
+    TITAN_X_MAXWELL,
+    V100,
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+)
+
+
+class TestRegistry:
+    def test_default_device_is_the_papers_gpu(self):
+        assert get_device().name == "titan-x-maxwell"
+
+    def test_lookup_by_name(self):
+        assert get_device("gtx-1080") is GTX_1080
+        assert get_device("v100") is V100
+
+    def test_unknown_device_lists_alternatives(self):
+        with pytest.raises(InvalidParameterError, match="titan-x-maxwell"):
+            get_device("rtx-9090")
+
+    def test_list_devices_contains_all_profiles(self):
+        names = list_devices()
+        assert {"titan-x-maxwell", "gtx-1080", "v100"} <= set(names)
+
+    def test_register_custom_device(self):
+        custom = DeviceSpec(
+            name="test-gpu",
+            global_bandwidth=100e9,
+            shared_bandwidth=1e12,
+            num_sms=10,
+            cores_per_sm=64,
+        )
+        register_device(custom)
+        assert get_device("test-gpu") is custom
+
+
+class TestPaperConstants:
+    """The Section 6.1 / Section 7 hardware constants."""
+
+    def test_titan_x_global_bandwidth(self):
+        assert TITAN_X_MAXWELL.global_bandwidth == pytest.approx(251e9)
+
+    def test_titan_x_shared_bandwidth(self):
+        assert TITAN_X_MAXWELL.shared_bandwidth == pytest.approx(2.9e12)
+
+    def test_shared_memory_per_block_is_48_kib(self):
+        assert TITAN_X_MAXWELL.shared_memory_per_block == 48 * 1024
+
+    def test_warp_size(self):
+        assert TITAN_X_MAXWELL.warp_size == 32
+
+    def test_shared_memory_banks(self):
+        assert TITAN_X_MAXWELL.shared_memory_banks == 32
+
+    def test_total_cores(self):
+        assert TITAN_X_MAXWELL.total_cores == 24 * 128
+
+
+class TestHelpers:
+    def test_global_read_time_scales_linearly(self):
+        time_1gb = TITAN_X_MAXWELL.global_read_time(1e9)
+        time_2gb = TITAN_X_MAXWELL.global_read_time(2e9)
+        assert time_2gb == pytest.approx(2 * time_1gb)
+
+    def test_reading_the_paper_dataset_takes_about_nine_ms(self):
+        # 2^29 floats at 251 GB/s — the Figure 11 bandwidth lower bound.
+        seconds = TITAN_X_MAXWELL.global_read_time((1 << 29) * 4)
+        assert 0.008 < seconds < 0.009
+
+    def test_shared_faster_than_global(self):
+        assert TITAN_X_MAXWELL.shared_access_time(1e9) < (
+            TITAN_X_MAXWELL.global_read_time(1e9)
+        )
+
+    def test_pcie_transfer_time(self):
+        assert TITAN_X_MAXWELL.pcie_transfer_time(12e9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec(
+                name="bad",
+                global_bandwidth=-1,
+                shared_bandwidth=1e12,
+                num_sms=1,
+                cores_per_sm=1,
+            )
+
+    def test_non_power_of_two_warp_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec(
+                name="bad",
+                global_bandwidth=1e9,
+                shared_bandwidth=1e12,
+                num_sms=1,
+                cores_per_sm=1,
+                warp_size=31,
+            )
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec(
+                name="bad",
+                global_bandwidth=1e9,
+                shared_bandwidth=1e12,
+                num_sms=1,
+                cores_per_sm=1,
+                shared_memory_banks=0,
+            )

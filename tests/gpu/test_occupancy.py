@@ -1,0 +1,92 @@
+"""Tests for the occupancy model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, ResourceExhaustedError
+from repro.gpu.occupancy import (
+    BlockResources,
+    bandwidth_derating,
+    blocks_per_sm,
+    occupancy,
+    register_spill_fraction,
+)
+
+
+class TestBlocksPerSm:
+    def test_small_block_limited_by_thread_count(self, device):
+        resources = BlockResources(threads=256, shared_memory_bytes=0)
+        assert blocks_per_sm(device, resources) == 8  # 2048 / 256
+
+    def test_shared_memory_limits_residency(self, device):
+        resources = BlockResources(threads=128, shared_memory_bytes=32 * 1024)
+        assert blocks_per_sm(device, resources) == 3  # 96 KiB / 32 KiB
+
+    def test_register_pressure_limits_residency(self, device):
+        resources = BlockResources(
+            threads=256, shared_memory_bytes=0, registers_per_thread=128
+        )
+        assert blocks_per_sm(device, resources) == 2  # 65536 / (128 * 256)
+
+    def test_block_exceeding_shared_limit_fails(self, device):
+        # The paper's per-thread heap failure: k = 512 floats with a
+        # 32-thread block needs 64 KiB > 48 KiB.
+        resources = BlockResources(threads=32, shared_memory_bytes=64 * 1024)
+        with pytest.raises(ResourceExhaustedError):
+            blocks_per_sm(device, resources)
+
+    def test_block_exceeding_thread_limit_fails(self, device):
+        with pytest.raises(ResourceExhaustedError):
+            blocks_per_sm(device, BlockResources(threads=2048))
+
+
+class TestOccupancy:
+    def test_full_occupancy(self, device):
+        assert occupancy(device, BlockResources(threads=256)) == 1.0
+
+    def test_shared_memory_cuts_occupancy(self, device):
+        heavy = occupancy(
+            device, BlockResources(threads=256, shared_memory_bytes=32 * 1024)
+        )
+        assert heavy < 0.5
+
+    def test_occupancy_never_exceeds_one(self, device):
+        assert occupancy(device, BlockResources(threads=32)) <= 1.0
+
+
+class TestDerating:
+    def test_saturated_occupancy_reaches_peak(self):
+        assert bandwidth_derating(1.0) == 1.0
+        assert bandwidth_derating(0.25) == 1.0
+
+    def test_low_occupancy_linear_falloff(self):
+        assert bandwidth_derating(0.125) == pytest.approx(0.5)
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(InvalidParameterError):
+            bandwidth_derating(0.0)
+        with pytest.raises(InvalidParameterError):
+            bandwidth_derating(1.5)
+
+
+class TestRegisterSpill:
+    def test_no_spill_when_fitting(self):
+        assert register_spill_fraction(64, 255) == 0.0
+
+    def test_spill_fraction_grows(self):
+        small = register_spill_fraction(300, 255)
+        large = register_spill_fraction(600, 255)
+        assert 0.0 < small < large < 1.0
+
+    def test_invalid_usage(self):
+        with pytest.raises(InvalidParameterError):
+            register_spill_fraction(0)
+
+
+class TestBlockResourcesValidation:
+    def test_zero_threads_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BlockResources(threads=0)
+
+    def test_negative_shared_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BlockResources(threads=32, shared_memory_bytes=-1)

@@ -1,0 +1,118 @@
+"""Property-based tests over the GPU substrate models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.banks import ChunkShape, chunk_conflict_factor, warp_conflict_factor
+from repro.gpu.coalescing import coalescing_efficiency, warp_transactions
+from repro.gpu.counters import ExecutionTrace, KernelCounters
+from repro.gpu.device import get_device
+from repro.gpu.timing import trace_time
+
+
+class TestBankProperties:
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=4096),
+                              max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_factor_bounded_by_access_count(self, addresses):
+        factor = warp_conflict_factor(addresses)
+        assert 1 <= factor <= max(1, len(addresses))
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=4096),
+                              min_size=1, max_size=32),
+           shift=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_factor_invariant_under_uniform_shift_by_banks(self, addresses, shift):
+        """Adding a multiple of the bank count to every address cannot
+        change the conflict structure."""
+        shifted = [address + 32 * shift for address in addresses]
+        assert warp_conflict_factor(addresses) == warp_conflict_factor(shifted)
+
+    @given(bits=st.sets(st.integers(min_value=0, max_value=8), min_size=1,
+                        max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_never_hurts(self, bits):
+        shape = ChunkShape(tuple(bits))
+        for padding in (False, True):
+            plain = chunk_conflict_factor(shape, padding=padding)
+            staggered = chunk_conflict_factor(
+                shape, padding=padding, chunk_permutation=True
+            )
+            assert staggered <= plain + 1e-9
+
+
+class TestCoalescingProperties:
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                              min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_transactions_bounded(self, addresses):
+        transactions = warp_transactions([a * 4 for a in addresses])
+        assert 1 <= transactions <= len(addresses)
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                              min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_transactions_invariant_under_permutation(self, addresses):
+        byte_addresses = [a * 4 for a in addresses]
+        shuffled = list(reversed(byte_addresses))
+        assert warp_transactions(byte_addresses) == warp_transactions(shuffled)
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                              min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_efficiency_in_unit_interval(self, addresses):
+        efficiency = coalescing_efficiency([a * 4 for a in addresses])
+        assert 0.0 < efficiency <= 1.0
+
+
+class TestTimingProperties:
+    @given(
+        reads=st.floats(min_value=0, max_value=1e12),
+        writes=st.floats(min_value=0, max_value=1e12),
+        shared=st.floats(min_value=0, max_value=1e12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_more_traffic_never_faster(self, reads, writes, shared):
+        device = get_device()
+        base = ExecutionTrace()
+        counters = base.launch("kernel")
+        counters.add_global_read(reads)
+        counters.add_global_write(writes)
+        counters.add_shared(shared)
+        bigger = base.scaled(2.0)
+        assert (
+            trace_time(bigger, device).total
+            >= trace_time(base, device).total - 1e-12
+        )
+
+    @given(factor=st.floats(min_value=1.0, max_value=32.0))
+    @settings(max_examples=50, deadline=None)
+    def test_conflicts_scale_shared_time_linearly(self, factor):
+        device = get_device()
+        free = KernelCounters()
+        free.add_shared(1e10, 1.0)
+        conflicted = KernelCounters()
+        conflicted.add_shared(1e10, factor)
+        from repro.gpu.timing import kernel_time
+
+        ratio = (
+            kernel_time(conflicted, device).shared_time
+            / kernel_time(free, device).shared_time
+        )
+        assert ratio == pytest.approx(factor, rel=1e-9)
+
+
+class TestTraceRender:
+    def test_render_mentions_every_kernel(self, device):
+        trace = ExecutionTrace()
+        trace.launch("alpha").add_global_read(1e9)
+        trace.launch("beta").add_shared(1e12)
+        text = trace_time(trace, device).render()
+        assert "alpha" in text and "beta" in text
+        assert "global" in text and "shared" in text
+        assert "total" in text
+
+    def test_empty_trace(self, device):
+        assert "(empty trace)" in trace_time(ExecutionTrace(), device).render()

@@ -1,0 +1,110 @@
+"""Tests for the counters -> simulated time conversion."""
+
+import pytest
+
+from repro.gpu.counters import ExecutionTrace, KernelCounters
+from repro.gpu.timing import (
+    kernel_time,
+    memory_bandwidth_bound,
+    trace_time,
+)
+
+
+class TestKernelTime:
+    def test_global_bound_kernel(self, device):
+        counters = KernelCounters(name="scan")
+        counters.add_global_read(device.global_bandwidth * device.global_efficiency)
+        time = kernel_time(counters, device)
+        assert time.global_time == pytest.approx(1.0)
+        assert time.bound_by == "global"
+
+    def test_shared_bound_kernel(self, device):
+        counters = KernelCounters()
+        counters.add_global_read(1.0)
+        counters.add_shared(device.shared_bandwidth, conflict_factor=1.0)
+        time = kernel_time(counters, device)
+        assert time.bound_by == "shared"
+
+    def test_max_composition_not_sum(self, device):
+        """Section 7.2: the GPU hides the cheaper resource behind the bound."""
+        counters = KernelCounters()
+        counters.add_global_read(251e9 * 0.878)  # one second of global
+        counters.add_shared(2.9e12 * 0.862 / 2)  # half a second of shared
+        total = kernel_time(counters, device).total
+        assert total == pytest.approx(1.0, rel=0.01)
+
+    def test_conflicts_inflate_shared_time(self, device):
+        free = KernelCounters()
+        free.add_shared(1e12, conflict_factor=1.0)
+        conflicted = KernelCounters()
+        conflicted.add_shared(1e12, conflict_factor=2.0)
+        assert (
+            kernel_time(conflicted, device).shared_time
+            == pytest.approx(2 * kernel_time(free, device).shared_time)
+        )
+
+    def test_low_occupancy_derates_global_bandwidth(self, device):
+        full = KernelCounters()
+        full.add_global_read(1e9)
+        starved = KernelCounters(occupancy=0.125)
+        starved.add_global_read(1e9)
+        assert (
+            kernel_time(starved, device).global_time
+            == pytest.approx(2 * kernel_time(full, device).global_time)
+        )
+
+    def test_atomics_add_on_top(self, device):
+        counters = KernelCounters(atomic_ops=1e6)
+        time = kernel_time(counters, device)
+        assert time.atomic_time > 0
+        assert time.total >= time.atomic_time
+
+    def test_fixed_seconds_dominate(self, device):
+        counters = KernelCounters(fixed_seconds=0.5)
+        time = kernel_time(counters, device)
+        assert time.total == pytest.approx(0.5)
+
+
+class TestTraceTime:
+    def test_kernels_sum_with_launch_overheads(self, device):
+        trace = ExecutionTrace()
+        trace.launch("a")
+        trace.launch("b")
+        total = trace_time(trace, device).total
+        assert total == pytest.approx(2 * device.kernel_launch_overhead)
+
+    def test_by_kernel_aggregation(self, device):
+        trace = ExecutionTrace()
+        trace.launch("merge").add_global_read(1e9)
+        trace.launch("merge").add_global_read(1e9)
+        trace.launch("sort").add_global_read(1e9)
+        by_kernel = trace_time(trace, device).by_kernel()
+        assert set(by_kernel) == {"merge", "sort"}
+        assert by_kernel["merge"] == pytest.approx(2 * by_kernel["sort"], rel=0.01)
+
+    def test_total_ms_conversion(self, device):
+        trace = ExecutionTrace()
+        counters = trace.launch("fixed")
+        counters.fixed_seconds = 0.123
+        assert trace_time(trace, device).total_ms == pytest.approx(123.0)
+
+
+class TestBandwidthBound:
+    def test_paper_lower_bound(self, device):
+        """Reading 2^29 floats takes ~8.6 ms at 251 GB/s (Figure 11)."""
+        bound = memory_bandwidth_bound((1 << 29) * 4, device)
+        assert bound * 1e3 == pytest.approx(8.56, rel=0.01)
+
+    def test_every_algorithm_respects_the_bound(self, device, rng):
+        import numpy as np
+
+        from repro.algorithms.registry import EVALUATED_ALGORITHMS, create
+
+        data = rng.random(1 << 14, dtype=np.float32)
+        bound = memory_bandwidth_bound((1 << 26) * 4, device)
+        for name in EVALUATED_ALGORITHMS:
+            algorithm = create(name, device)
+            if not algorithm.supports(1 << 26, 64, data.dtype):
+                continue
+            result = algorithm.run(data, 64, model_n=1 << 26)
+            assert result.simulated_time(device).total >= bound * 0.99, name

@@ -1,0 +1,101 @@
+"""Tests for the sample-based adaptive selector."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.data.distributions import (
+    bucket_killer,
+    decreasing,
+    increasing,
+    uniform_floats,
+    uniform_uints,
+)
+from repro.errors import InvalidParameterError
+from repro.hybrid.adaptive import AdaptiveTopK, measure_sample
+
+PAPER_N = 1 << 29
+
+
+class TestSampleStatistics:
+    def test_sortedness_detection(self):
+        sorted_stats = measure_sample(increasing(4096))
+        random_stats = measure_sample(uniform_floats(4096))
+        reverse_stats = measure_sample(decreasing(4096))
+        assert sorted_stats.looks_sorted
+        assert not random_stats.looks_sorted
+        assert not reverse_stats.looks_sorted
+        assert random_stats.sortedness == pytest.approx(0.5, abs=0.05)
+
+    def test_radix_fraction_measurement(self):
+        floats = measure_sample(uniform_floats(1 << 14))
+        uints = measure_sample(uniform_uints(1 << 14))
+        killer = measure_sample(bucket_killer(1 << 14))
+        # U(0, 1) floats share the top exponent byte ~50% of the time.
+        assert floats.radix_survivor_fractions[0] == pytest.approx(0.5, abs=0.05)
+        # Uniform uints reduce maximally.
+        assert uints.radix_survivor_fractions[0] < 0.05
+        # The killer shows almost no reduction.
+        assert killer.looks_adversarial_for_radix
+
+    def test_tiny_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            measure_sample(np.zeros(1, dtype=np.float32))
+
+
+class TestChoices:
+    def test_avoids_radix_select_on_bucket_killer(self, device):
+        """The static planner would send large-k uniform data to radix
+        select; the adaptive one must notice the adversarial structure."""
+        selector = AdaptiveTopK(device)
+        choice = selector.choose(bucket_killer(1 << 16), 1024, model_n=PAPER_N)
+        assert choice.algorithm != "radix-select"
+
+    def test_picks_radix_select_on_large_k_uints(self, device):
+        selector = AdaptiveTopK(device)
+        choice = selector.choose(uniform_uints(1 << 16), 1024, model_n=PAPER_N)
+        assert choice.algorithm == "radix-select"
+
+    def test_avoids_per_thread_on_sorted_input(self, device):
+        """Sorted data is the per-thread heap's worst case."""
+        selector = AdaptiveTopK(device)
+        choice = selector.choose(increasing(1 << 16), 32, model_n=PAPER_N)
+        assert choice.algorithm != "per-thread"
+
+    def test_sample_keeps_order_structure(self, device):
+        """A contiguous slice keeps sortedness evidence visible."""
+        selector = AdaptiveTopK(device, sample_size=512)
+        sample = selector.sample(increasing(1 << 16))
+        assert len(sample) == 512
+        assert np.all(np.diff(sample) >= 0)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "generator", [uniform_floats, increasing, bucket_killer]
+    )
+    def test_result_is_always_correct(self, generator, device):
+        data = generator(8192, seed=3)
+        result = AdaptiveTopK(device).run(data, 25)
+        expected, _ = reference_topk(data, 25)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+    def test_adaptive_never_much_worse_than_static(self, device):
+        """Across all distributions, the adaptive pick's simulated time is
+        within 2x of the best measured algorithm (robustness guarantee)."""
+        from repro.algorithms.registry import EVALUATED_ALGORITHMS, create
+
+        selector = AdaptiveTopK(device)
+        for generator in (uniform_floats, increasing, bucket_killer):
+            data = generator(1 << 16, seed=1)
+            adaptive = selector.run(data, 64, model_n=PAPER_N)
+            adaptive_time = adaptive.simulated_time(device).total
+            best = min(
+                create(name, device)
+                .run(data, 64, model_n=PAPER_N)
+                .simulated_time(device)
+                .total
+                for name in EVALUATED_ALGORITHMS
+                if create(name, device).supports(PAPER_N, 64, data.dtype)
+            )
+            assert adaptive_time <= 2 * best, generator.__name__

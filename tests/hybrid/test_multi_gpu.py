@@ -1,0 +1,79 @@
+"""Tests for multi-GPU data-parallel top-k."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.errors import InvalidParameterError
+from repro.gpu.device import get_device
+from repro.hybrid.multi_gpu import MultiGpuTopK
+
+N_MODEL = 1 << 29
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_matches_reference(self, devices, rng):
+        runner = MultiGpuTopK([get_device() for _ in range(devices)])
+        data = rng.random(30000).astype(np.float32)
+        result = runner.run(data, 64)
+        expected, _ = reference_topk(data, 64)
+        assert np.array_equal(np.sort(result.values)[::-1], expected)
+        assert np.array_equal(np.sort(data[result.indices])[::-1], expected)
+
+    def test_winners_in_one_slice(self, rng):
+        data = rng.random(10000).astype(np.float32)
+        data[:30] += 10.0
+        runner = MultiGpuTopK([get_device(), get_device()])
+        result = runner.run(data, 30)
+        assert (result.indices < 30).all()
+
+    def test_empty_device_list_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuTopK([])
+
+
+class TestScaling:
+    def test_homogeneous_split_is_even(self, rng):
+        runner = MultiGpuTopK([get_device(), get_device()])
+        shares = runner.plan_shares(N_MODEL, 64, np.dtype(np.float32))
+        assert shares[0].fraction == pytest.approx(0.5)
+        assert shares[0].seconds == pytest.approx(shares[1].seconds)
+
+    def test_two_gpus_nearly_halve_the_time(self, rng):
+        data = rng.random(1 << 16).astype(np.float32)
+        single = MultiGpuTopK([get_device()]).run(data, 64, model_n=N_MODEL)
+        double = MultiGpuTopK([get_device(), get_device()]).run(
+            data, 64, model_n=N_MODEL
+        )
+        speedup = single.simulated_ms() / double.simulated_ms()
+        assert 1.7 < speedup <= 2.05
+
+    def test_heterogeneous_split_favors_the_faster_card(self, rng):
+        titan = get_device("titan-x-maxwell")
+        volta = get_device("v100")
+        runner = MultiGpuTopK([titan, volta])
+        shares = runner.plan_shares(N_MODEL, 64, np.dtype(np.float32))
+        assert shares[1].fraction > shares[0].fraction
+        # Finish times equalize.
+        assert shares[0].seconds == pytest.approx(shares[1].seconds, rel=0.01)
+
+    def test_adding_a_slow_card_still_helps(self, rng):
+        """Throughput-proportional splitting means a slower card takes a
+        small slice instead of stalling the fast one."""
+        data = rng.random(1 << 16).astype(np.float32)
+        volta_only = MultiGpuTopK([get_device("v100")]).run(
+            data, 64, model_n=N_MODEL
+        )
+        mixed = MultiGpuTopK(
+            [get_device("v100"), get_device("titan-x-maxwell")]
+        ).run(data, 64, model_n=N_MODEL)
+        assert mixed.simulated_ms() < volta_only.simulated_ms()
+
+    def test_trace_records_shares(self, rng):
+        runner = MultiGpuTopK([get_device(), get_device()])
+        result = runner.run(
+            rng.random(4096).astype(np.float32), 8, model_n=N_MODEL
+        )
+        assert result.trace.notes["devices"] == 2
+        assert result.trace.notes["fraction_0"] == pytest.approx(0.5)

@@ -1,0 +1,77 @@
+"""Tests for the top-level command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopKCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["topk", "--n", "4096", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "simulated" in out
+        assert "top values" in out
+
+    def test_explicit_algorithm_and_distribution(self, capsys):
+        code = main(
+            [
+                "topk",
+                "--n", "4096",
+                "--k", "4",
+                "--algorithm", "radix-select",
+                "--distribution", "increasing",
+            ]
+        )
+        assert code == 0
+        assert "radix-select" in capsys.readouterr().out
+
+    def test_timeline_rendering(self, capsys):
+        assert main(["topk", "--n", "4096", "--k", "8", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "SortReducer" in out
+
+    def test_model_n_extrapolation(self, capsys):
+        assert main(
+            ["topk", "--n", "4096", "--k", "8", "--model-n", "536870912"]
+        ) == 0
+        assert "536870912" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_ranks_algorithms(self, capsys):
+        assert main(["plan", "--n", "536870912", "--k", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "bitonic" in out
+        assert "radix-select" in out
+        assert "choice" in out
+
+    def test_profile_changes_the_ranking(self, capsys):
+        main(["plan", "--k", "1024", "--dtype", "uint32",
+              "--profile", "uniform-uint"])
+        uint_out = capsys.readouterr().out
+        main(["plan", "--k", "1024", "--profile", "bucket-killer"])
+        killer_out = capsys.readouterr().out
+        assert "radix-select" in uint_out.splitlines()[1]
+        assert "bitonic" in killer_out.splitlines()[1]
+
+
+class TestExplainCommand:
+    def test_explains_a_query(self, capsys):
+        code = main(
+            [
+                "explain",
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10",
+                "--rows", "8192",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "fused" in out
+
+
+class TestDispatch:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "topk" in capsys.readouterr().out
