@@ -12,7 +12,6 @@ import numpy as np
 from repro.bench.report import Figure, record_figure
 from repro.bitonic.topk import BitonicTopK
 from repro.core.batched import batched_topk
-from repro.data.distributions import uniform_floats
 from repro.gpu.device import get_device
 
 ROW_LENGTH = 4096

@@ -26,7 +26,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -100,6 +100,17 @@ class TopKAlgorithm(abc.ABC):
 
     #: Registry / report name, e.g. ``"bitonic"`` or ``"radix-select"``.
     name: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Observability: every concrete ``run`` override is wrapped so the
+        # invocation emits an ``algorithm:<name>`` span with its kernel
+        # launches as children (a no-op unless observation is enabled).
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "__repro_traced__", False):
+            from repro.observability.instrument import traced_algorithm
+
+            cls.run = traced_algorithm(run)
 
     def __init__(self, device: DeviceSpec | None = None):
         self.device = device or get_device()

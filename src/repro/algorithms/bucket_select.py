@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.gpu.counters import ExecutionTrace
 
@@ -68,49 +69,62 @@ class BucketSelectTopK(TopKAlgorithm):
         remaining = k
         candidates = work
         candidate_rows = rows
-        for _ in range(MAX_PASSES):
-            if remaining <= 0 or len(candidates) <= remaining or low == high:
-                break
-            if float(candidates.min()) == float(candidates.max()):
-                # All candidates tie (the bucket-killer tail): no amount of
-                # range refinement separates them; resolve by padding below.
-                break
-            edges = np.linspace(low, high, NUM_BUCKETS + 1)
-            # Bucket index in [0, NUM_BUCKETS): highest bucket holds the max.
-            buckets = np.clip(
-                np.searchsorted(edges, candidates, side="right") - 1,
-                0,
-                NUM_BUCKETS - 1,
-            )
-            counts = np.bincount(buckets, minlength=NUM_BUCKETS)
-            cumulative_from_top = np.cumsum(counts[::-1])[::-1]
-            matched = int(np.max(np.flatnonzero(cumulative_from_top >= remaining)))
-            above = buckets > matched
-            in_bucket = buckets == matched
-            emitted = int(above.sum())
-            survivors = int(counts[matched])
-            pass_log.append(
-                {
-                    "eta": survivors / len(candidates),
-                    "emitted": emitted / len(candidates),
-                    "atomics": float(len(candidates)),
-                }
-            )
-            if emitted:
-                result_rows.append(candidate_rows[above])
-                remaining -= emitted
-            if survivors == len(candidates):
-                # No reduction possible within this range: the candidates
-                # are concentrated in one bucket; narrow the range and, if
-                # the range cannot narrow (all equal), stop.
-                new_low, new_high = edges[matched], edges[matched + 1]
-                if (new_low, new_high) == (low, high):
+        with obs.span(
+            "phase:bucket-refinement", category="phase", n=n, k=k
+        ) as phase:
+            for _ in range(MAX_PASSES):
+                if remaining <= 0 or len(candidates) <= remaining or low == high:
                     break
-                low, high = new_low, new_high
-                continue
-            candidates = candidates[in_bucket]
-            candidate_rows = candidate_rows[in_bucket]
-            low, high = edges[matched], edges[matched + 1]
+                if float(candidates.min()) == float(candidates.max()):
+                    # All candidates tie (the bucket-killer tail): no amount
+                    # of range refinement separates them; resolve by padding
+                    # below.
+                    break
+                edges = np.linspace(low, high, NUM_BUCKETS + 1)
+                # Bucket index in [0, NUM_BUCKETS): highest holds the max.
+                buckets = np.clip(
+                    np.searchsorted(edges, candidates, side="right") - 1,
+                    0,
+                    NUM_BUCKETS - 1,
+                )
+                counts = np.bincount(buckets, minlength=NUM_BUCKETS)
+                cumulative_from_top = np.cumsum(counts[::-1])[::-1]
+                matched = int(
+                    np.max(np.flatnonzero(cumulative_from_top >= remaining))
+                )
+                above = buckets > matched
+                in_bucket = buckets == matched
+                emitted = int(above.sum())
+                survivors = int(counts[matched])
+                pass_log.append(
+                    {
+                        "eta": survivors / len(candidates),
+                        "emitted": emitted / len(candidates),
+                        "atomics": float(len(candidates)),
+                    }
+                )
+                if emitted:
+                    result_rows.append(candidate_rows[above])
+                    remaining -= emitted
+                if survivors == len(candidates):
+                    # No reduction possible within this range: the candidates
+                    # are concentrated in one bucket; narrow the range and,
+                    # if the range cannot narrow (all equal), stop.
+                    new_low, new_high = edges[matched], edges[matched + 1]
+                    if (new_low, new_high) == (low, high):
+                        break
+                    low, high = new_low, new_high
+                    continue
+                candidates = candidates[in_bucket]
+                candidate_rows = candidate_rows[in_bucket]
+                low, high = edges[matched], edges[matched + 1]
+            phase.set(passes=len(pass_log))
+            registry = obs.active_metrics()
+            if registry is not None:
+                for entry in pass_log:
+                    registry.histogram("bucket_select.survivor_fraction").observe(
+                        entry["eta"]
+                    )
 
         if remaining > 0:
             order = np.argsort(candidates, kind="stable")[::-1][:remaining]

@@ -43,11 +43,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.errors import ResourceExhaustedError
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec
-from repro.gpu.occupancy import BlockResources, blocks_per_sm, occupancy
+from repro.gpu.occupancy import BlockResources, occupancy
 
 #: Grid size the paper-style implementation launches (fixed, sized to keep
 #: every SM busy independent of n).
@@ -191,7 +192,23 @@ class PerThreadTopK(TopKAlgorithm):
         # are measured at the right scale.
         model_stream = max(k, math.ceil(model / self.device_threads))
         functional_threads = max(1, min(self.device_threads, round(n / model_stream)))
-        state, state_indices, stats = lockstep_topk(data, k, functional_threads)
+        with obs.span(
+            "phase:lockstep-scan",
+            category="phase",
+            threads=functional_threads,
+            n=n,
+            k=k,
+        ) as phase:
+            state, state_indices, stats = lockstep_topk(data, k, functional_threads)
+            phase.set(
+                inserts=stats.inserts, warp_insert_events=stats.warp_insert_events
+            )
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.counter("per_thread.inserts").inc(stats.inserts)
+                registry.counter("per_thread.warp_insert_events").inc(
+                    stats.warp_insert_events
+                )
         values, indices = _final_topk(state, state_indices, k)
 
         trace = self._build_trace(model, k, width, resources, stats)

@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.algorithms.per_thread import DEVICE_THREADS, _final_topk, lockstep_topk
 from repro.gpu.counters import ExecutionTrace
@@ -68,7 +69,15 @@ class PerThreadRegisterTopK(TopKAlgorithm):
 
         model_stream = max(k, math.ceil(model / self.device_threads))
         functional_threads = max(1, min(self.device_threads, round(n / model_stream)))
-        state, state_indices, stats = lockstep_topk(data, k, functional_threads)
+        with obs.span(
+            "phase:register-scan",
+            category="phase",
+            threads=functional_threads,
+            n=n,
+            k=k,
+        ) as phase:
+            state, state_indices, stats = lockstep_topk(data, k, functional_threads)
+            phase.set(inserts=stats.inserts)
         values, indices = _final_topk(state, state_indices, k)
 
         trace = ExecutionTrace()

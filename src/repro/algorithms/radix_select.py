@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms import keys as keycodec
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.algorithms.radix_sort import DIGIT_BITS
@@ -61,38 +62,44 @@ class RadixSelectTopK(TopKAlgorithm):
         remaining = k
         pass_fractions: list[tuple[float, float, bool]] = []
 
-        for shift in range(bits - DIGIT_BITS, -DIGIT_BITS, -DIGIT_BITS):
-            digits = keycodec.digit(candidates, shift, DIGIT_BITS)
-            histogram = np.bincount(digits, minlength=1 << DIGIT_BITS)
-            higher_counts = _descending_prefix_counts(histogram)
-            # The bucket holding the remaining-th largest element: the
-            # largest digit d with count(digit >= d) >= remaining; for that
-            # bucket count(digit > d) < remaining <= count(digit >= d).
-            at_least_counts = higher_counts + histogram
-            bucket = int(np.max(np.flatnonzero(at_least_counts >= remaining)))
-            in_bucket = digits == bucket
-            above = digits > bucket
-            survivors = int(histogram[bucket])
-            emitted = int(above.sum())
-            no_reduction = survivors == len(candidates)
-            pass_fractions.append(
-                (
-                    survivors / len(candidates),
-                    emitted / len(candidates),
-                    no_reduction,
+        with obs.span("phase:select-passes", category="phase", n=n, k=k) as phase:
+            for shift in range(bits - DIGIT_BITS, -DIGIT_BITS, -DIGIT_BITS):
+                digits = keycodec.digit(candidates, shift, DIGIT_BITS)
+                histogram = np.bincount(digits, minlength=1 << DIGIT_BITS)
+                higher_counts = _descending_prefix_counts(histogram)
+                # The bucket holding the remaining-th largest element: the
+                # largest digit d with count(digit >= d) >= remaining; for that
+                # bucket count(digit > d) < remaining <= count(digit >= d).
+                at_least_counts = higher_counts + histogram
+                bucket = int(np.max(np.flatnonzero(at_least_counts >= remaining)))
+                in_bucket = digits == bucket
+                above = digits > bucket
+                survivors = int(histogram[bucket])
+                emitted = int(above.sum())
+                no_reduction = survivors == len(candidates)
+                pass_fractions.append(
+                    (
+                        survivors / len(candidates),
+                        emitted / len(candidates),
+                        no_reduction,
+                    )
                 )
-            )
-            if emitted:
-                result_codes.append(candidates[above])
-                result_rows.append(candidate_rows[above])
-                remaining -= emitted
-            if no_reduction:
-                # Skip the clustering write and reuse the input (Section 4.2).
-                continue
-            candidates = candidates[in_bucket]
-            candidate_rows = candidate_rows[in_bucket]
-            if remaining <= 0 or survivors <= remaining:
-                break
+                if emitted:
+                    result_codes.append(candidates[above])
+                    result_rows.append(candidate_rows[above])
+                    remaining -= emitted
+                if no_reduction:
+                    # Skip the clustering write and reuse the input (4.2).
+                    continue
+                candidates = candidates[in_bucket]
+                candidate_rows = candidate_rows[in_bucket]
+                if remaining <= 0 or survivors <= remaining:
+                    break
+            phase.set(passes=len(pass_fractions))
+            registry = obs.active_metrics()
+            if registry is not None:
+                for eta, _, _ in pass_fractions:
+                    registry.histogram("radix_select.survivor_fraction").observe(eta)
 
         # Whatever candidates remain all tie at (or bound) the k-th value;
         # pad the result with them (Section 4.2's final step).

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms import keys as keycodec
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.gpu.counters import ExecutionTrace
@@ -86,7 +87,13 @@ class SortTopK(TopKAlgorithm):
         validate_topk_args(data, k)
         n = len(data)
         model = model_n or n
-        sorted_values, permutation = radix_sort(data)
+        with obs.span(
+            "phase:radix-sort",
+            category="phase",
+            n=n,
+            passes=keycodec.key_bits(data.dtype) // DIGIT_BITS,
+        ):
+            sorted_values, permutation = radix_sort(data)
         values = sorted_values[::-1][:k].copy()
         indices = permutation[::-1][:k].copy()
 

@@ -6,6 +6,13 @@ Regenerate any figure of the evaluation without pytest::
     python -m repro.bench abl43 fig17
     python -m repro.bench --list
     python -m repro.bench --all
+
+CI smoke mode reruns a fast subset, writes the results as a run record,
+and gates on the committed baseline (simulated-ms increases beyond the
+tolerance fail the build; getting faster never does)::
+
+    python -m repro.bench --ci --out BENCH_ci.json \\
+        --baseline benchmarks/baselines/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -14,7 +21,15 @@ import argparse
 import sys
 
 from repro.bench.figures import REGISTRY
+from repro.bench.history import compare_run, load_run, save_run
 from repro.bench.report import format_figure
+
+#: The fast subset rerun on every CI push (well under a second combined;
+#: the big sweep figures take seconds to minutes each).
+CI_FIGURES = ("fig08", "abl43", "q4")
+
+#: Relative simulated-ms increase tolerated before CI fails.
+CI_TOLERANCE = 0.15
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,7 +47,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list available figure ids and exit"
     )
     parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--ci", action="store_true",
+        help="run the fast CI subset and gate on a baseline",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the run's figures as a JSON run record",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline run record to compare against (with --ci: gate)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=CI_TOLERANCE,
+        help="relative simulated-ms increase tolerated before failing",
+    )
     return parser
+
+
+def _command_ci(arguments) -> int:
+    figures = {figure_id: REGISTRY[figure_id]() for figure_id in CI_FIGURES}
+    for figure in figures.values():
+        print(format_figure(figure))
+        print()
+    if arguments.out:
+        save_run(figures, arguments.out)
+        print(f"wrote {arguments.out}")
+    if not arguments.baseline:
+        return 0
+    baseline = load_run(arguments.baseline)
+    regressions = compare_run(
+        baseline, figures, tolerance=arguments.tolerance, slower_only=True
+    )
+    if regressions:
+        print(
+            f"\n{len(regressions)} simulated-ms regression(s) beyond "
+            f"{arguments.tolerance:.0%} vs {arguments.baseline}:",
+            file=sys.stderr,
+        )
+        for figure_id, regression in regressions:
+            print(f"  {figure_id}: {regression}", file=sys.stderr)
+        return 1
+    print(f"no regressions beyond {arguments.tolerance:.0%} "
+          f"vs {arguments.baseline}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
         for figure_id in REGISTRY:
             print(figure_id)
         return 0
+    if arguments.ci:
+        return _command_ci(arguments)
     requested = list(REGISTRY) if arguments.all else arguments.figures
     if not requested:
         build_parser().print_help()
@@ -53,9 +114,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    figures = {}
     for figure_id in requested:
-        print(format_figure(REGISTRY[figure_id]()))
+        figures[figure_id] = REGISTRY[figure_id]()
+        print(format_figure(figures[figure_id]))
         print()
+    if arguments.out:
+        save_run(figures, arguments.out)
+        print(f"wrote {arguments.out}")
     return 0
 
 

@@ -11,7 +11,6 @@ wrappers around these.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np
@@ -22,7 +21,7 @@ from repro.algorithms.per_thread import PerThreadTopK
 from repro.algorithms.per_thread_registers import PerThreadRegisterTopK
 from repro.algorithms.radix_select import RadixSelectTopK
 from repro.algorithms.radix_sort import SortTopK
-from repro.bench.report import Figure, Series
+from repro.bench.report import Figure
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.optimizations import ABLATION_LADDER, FULL, PAPER_LADDER_MS
 from repro.bitonic.topk import BitonicTopK

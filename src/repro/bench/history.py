@@ -6,6 +6,11 @@ model or a kernel plan should surface as a delta on the affected figures.
 ``save_figure`` serializes a figure's series to JSON; ``compare`` diffs two
 recordings and flags series points whose relative change exceeds a
 tolerance.
+
+The run-level variants (``save_run`` / ``load_run`` / ``compare_run``)
+bundle several figures into one JSON document — the shape CI's
+``bench-smoke`` job commits as its baseline and gates against, with
+``slower_only=True`` so improvements never fail the build.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.bench.report import Figure, Series
+from repro.bench.report import Figure
 from repro.errors import InvalidParameterError
 
 
@@ -84,12 +89,18 @@ class Regression:
 
 
 def compare(
-    baseline: Figure, current: Figure, tolerance: float = 0.05
+    baseline: Figure,
+    current: Figure,
+    tolerance: float = 0.05,
+    slower_only: bool = False,
 ) -> list[Regression]:
     """Points whose relative change exceeds ``tolerance``.
 
     Missing series/points are ignored (new experiments are not
-    regressions); only overlapping points are compared.
+    regressions); only overlapping points are compared.  With
+    ``slower_only`` a point only counts when it *increased* — the CI gate
+    for lower-is-better simulated-ms figures, where getting faster is an
+    improvement, not a regression.
     """
     if tolerance < 0:
         raise InvalidParameterError("tolerance must be non-negative")
@@ -104,10 +115,78 @@ def compare(
             before = before_points.get(str(x))
             if before is None:
                 continue
+            delta = after - before
+            if slower_only and delta <= 0:
+                continue
             scale = max(abs(before), 1e-12)
-            if abs(after - before) / scale > tolerance:
+            if abs(delta) / scale > tolerance:
                 regressions.append(
                     Regression(series=series.name, x=str(x), before=before,
                                after=after)
                 )
+    return regressions
+
+
+# -- Run-level history (several figures per document) --------------------
+
+RUN_FORMAT = "repro-bench-run"
+
+
+def run_to_record(figures: dict[str, Figure]) -> dict:
+    """JSON-serializable representation of a whole benchmark run."""
+    return {
+        "format": RUN_FORMAT,
+        "version": 1,
+        "figures": {
+            figure_id: figure_to_record(figure)
+            for figure_id, figure in figures.items()
+        },
+    }
+
+
+def record_to_run(record: dict) -> dict[str, Figure]:
+    if record.get("format") != RUN_FORMAT:
+        raise InvalidParameterError(
+            f"not a benchmark run record (format={record.get('format')!r})"
+        )
+    return {
+        figure_id: record_to_figure(figure_record)
+        for figure_id, figure_record in record["figures"].items()
+    }
+
+
+def save_run(figures: dict[str, Figure], path: str | Path) -> None:
+    """Write a multi-figure benchmark run to a JSON file."""
+    Path(path).write_text(json.dumps(run_to_record(figures), indent=2) + "\n")
+
+
+def load_run(path: str | Path) -> dict[str, Figure]:
+    """Load a previously saved benchmark run."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise InvalidParameterError(f"cannot load run from {path}: {error}")
+    return record_to_run(record)
+
+
+def compare_run(
+    baseline: dict[str, Figure],
+    current: dict[str, Figure],
+    tolerance: float = 0.15,
+    slower_only: bool = True,
+) -> list[tuple[str, Regression]]:
+    """Compare two runs; returns ``(figure_id, regression)`` pairs.
+
+    Figures present in only one run are ignored, mirroring
+    :func:`compare`'s treatment of series and points.
+    """
+    regressions: list[tuple[str, Regression]] = []
+    for figure_id, current_figure in current.items():
+        baseline_figure = baseline.get(figure_id)
+        if baseline_figure is None:
+            continue
+        for regression in compare(
+            baseline_figure, current_figure, tolerance, slower_only
+        ):
+            regressions.append((figure_id, regression))
     return regressions

@@ -31,7 +31,7 @@ from repro.bitonic.optimizations import OptimizationFlags
 from repro.bitonic.plan import plan_rounds
 from repro.errors import InvalidParameterError
 from repro.gpu.banks import single_step_conflict_factor
-from repro.gpu.counters import ExecutionTrace, KernelCounters
+from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import BlockResources, occupancy
 
@@ -192,7 +192,6 @@ def _unfused_trace(
             counters.add_global_write(n * word)
 
     live = float(n)
-    merge_delta = _merge_conflict_factor(k)
     while live > k:
         merge = trace.launch("merge")
         merge.add_global_read(live * word)

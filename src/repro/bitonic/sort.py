@@ -21,7 +21,7 @@ import math
 import numpy as np
 
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
-from repro.bitonic.network import Step, full_sort_steps
+from repro.bitonic.network import full_sort_steps
 from repro.bitonic.operators import apply_step
 from repro.errors import InvalidParameterError
 from repro.gpu.banks import single_step_conflict_factor

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.bitonic.kernels import build_trace, memory_overhead_bytes
 from repro.bitonic.operators import reduce_topk
@@ -93,7 +94,13 @@ class BitonicTopK(TopKAlgorithm):
         working = np.full(padded_n, _sentinel(data.dtype), dtype=data.dtype)
         working[:n] = data
         payload = np.arange(padded_n, dtype=np.int64)
-        top_values, top_payload = reduce_topk(working, network_k, payload)
+        with obs.span(
+            "phase:bitonic-reduce",
+            category="phase",
+            network_k=network_k,
+            padded_n=padded_n,
+        ):
+            top_values, top_payload = reduce_topk(working, network_k, payload)
         values = top_values[:k].copy()
         indices = _fix_sentinel_indices(data, values, top_payload[:k].copy(), n)
 

@@ -1,4 +1,4 @@
-"""Top-level command line: run top-k, the planner, or EXPLAIN.
+"""Top-level command line: run top-k, the planner, EXPLAIN, or tracing.
 
 Examples::
 
@@ -8,15 +8,19 @@ Examples::
     python -m repro plan --n 536870912 --k 256 --dtype uint32
     python -m repro explain "SELECT id FROM tweets ORDER BY retweet_count \\
         DESC LIMIT 50" --rows 262144 --model-rows 250000000
+    python -m repro trace --n 1048576 --k 32 --out trace.json
+    python -m repro trace "SELECT id FROM tweets ORDER BY likes DESC \\
+        LIMIT 50" --rows 262144
+    python -m repro profile --n 1048576 --k 32
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.registry import list_algorithms
 from repro.core.planner import TopKPlanner
 from repro.core.topk import topk
@@ -77,6 +81,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="functional table size")
     explain.add_argument("--model-rows", type=int, default=250_000_000)
     explain.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in [
+        ("trace", "run a workload under tracing and export the trace"),
+        ("profile", "run a workload and print its span tree + metrics"),
+    ]:
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "sql", nargs="?", default=None,
+            help="optional SQL query (table must be 'tweets'); "
+                 "when omitted a top-k workload is traced instead",
+        )
+        sub.add_argument("--n", type=int, default=1 << 20, help="input size")
+        sub.add_argument("--k", type=int, default=32)
+        sub.add_argument(
+            "--algorithm", default="auto", choices=["auto"] + list_algorithms()
+        )
+        sub.add_argument(
+            "--distribution", default="uniform", choices=list_distributions()
+        )
+        sub.add_argument(
+            "--device", default="titan-x-maxwell", choices=list_devices()
+        )
+        sub.add_argument(
+            "--model-n", type=int, default=None,
+            help="input size the execution trace models (default: --n)",
+        )
+        sub.add_argument("--rows", type=int, default=1 << 16,
+                         help="functional table size (SQL mode)")
+        sub.add_argument("--model-rows", type=int, default=None,
+                         help="modeled table size (SQL mode)")
+        sub.add_argument("--seed", type=int, default=0)
+        if name == "trace":
+            sub.add_argument(
+                "--out", default="trace.json",
+                help="output path for the exported trace",
+            )
+            sub.add_argument(
+                "--format", dest="trace_format", default="chrome",
+                choices=["chrome", "jsonl"],
+                help="chrome://tracing JSON or JSON-lines",
+            )
     return parser
 
 
@@ -132,6 +177,66 @@ def _command_explain(arguments) -> int:
     return 0
 
 
+def _run_observed(arguments) -> tuple[obs.Observation, float]:
+    """Run the requested workload under observation.
+
+    Returns the populated observation and the workload's simulated
+    milliseconds (the figure the kernel spans must sum to).
+    """
+    observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+    device = get_device(arguments.device)
+    if arguments.sql is not None:
+        from repro.engine.session import Session
+        from repro.engine.twitter import generate_tweets
+
+        session = Session(device)
+        session.observation = observation
+        session.register(generate_tweets(arguments.rows, arguments.seed))
+        result = session.sql(arguments.sql, model_rows=arguments.model_rows)
+        simulated_ms = result.simulated_ms()
+    else:
+        data = generate(arguments.distribution, arguments.n, arguments.seed)
+        with observation.activate():
+            result = topk(
+                data,
+                arguments.k,
+                algorithm=arguments.algorithm,
+                device=device,
+                model_n=arguments.model_n,
+            )
+        simulated_ms = result.simulated_ms(device)
+    return observation, simulated_ms
+
+
+def _command_trace(arguments) -> int:
+    observation, simulated_ms = _run_observed(arguments)
+    tracer, metrics = observation.tracer, observation.metrics
+    if arguments.trace_format == "chrome":
+        obs.write_chrome_trace(arguments.out, tracer, metrics)
+    else:
+        obs.write_jsonl(arguments.out, tracer, metrics)
+    kernel_ms = tracer.total_sim_ms("kernel")
+    print(f"spans       : {tracer.num_spans}")
+    print(f"kernels     : {len(tracer.spans('kernel'))}")
+    print(f"simulated   : {simulated_ms:.3f} ms "
+          f"(kernel spans sum to {kernel_ms:.3f} ms)")
+    print(f"trace       : {arguments.out} ({arguments.trace_format})")
+    if abs(kernel_ms - simulated_ms) > 1e-6 * max(1.0, simulated_ms):
+        print("WARNING: kernel span total disagrees with the simulated time")
+        return 1
+    return 0
+
+
+def _command_profile(arguments) -> int:
+    observation, simulated_ms = _run_observed(arguments)
+    print(observation.tracer.render())
+    print()
+    print(observation.metrics.render())
+    print()
+    print(f"simulated total: {simulated_ms:.3f} ms")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -141,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_plan(arguments)
     if arguments.command == "explain":
         return _command_explain(arguments)
+    if arguments.command == "trace":
+        return _command_trace(arguments)
+    if arguments.command == "profile":
+        return _command_profile(arguments)
     parser.print_help()
     return 2
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKResult
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.network import (
@@ -133,24 +134,37 @@ def batched_topk(
 
     network_k = 1 << max(0, (k - 1).bit_length())
     padded_n = max(1 << max(0, (n - 1).bit_length()), network_k)
-    if matrix.dtype.kind == "f":
-        sentinel = -np.inf
-    else:
-        sentinel = np.iinfo(matrix.dtype).min
-    working = np.full((rows, padded_n), sentinel, dtype=matrix.dtype)
-    working[:, :n] = matrix
-    payload = np.broadcast_to(
-        np.arange(padded_n, dtype=np.int64), (rows, padded_n)
-    ).copy()
-    values, indices = batched_reduce_topk(working, network_k, payload)
+    with obs.span(
+        "batched-topk",
+        category="api",
+        rows=rows,
+        n=n,
+        k=k,
+        network_k=network_k,
+    ) as span:
+        if matrix.dtype.kind == "f":
+            sentinel = -np.inf
+        else:
+            sentinel = np.iinfo(matrix.dtype).min
+        working = np.full((rows, padded_n), sentinel, dtype=matrix.dtype)
+        working[:, :n] = matrix
+        payload = np.broadcast_to(
+            np.arange(padded_n, dtype=np.int64), (rows, padded_n)
+        ).copy()
+        values, indices = batched_reduce_topk(working, network_k, payload)
 
-    # The single-row kernel pipeline, traffic scaled by the batch size but
-    # launch count unchanged (one fused launch covers all rows).
-    single_row = build_trace(padded_n, network_k, matrix.dtype.itemsize, flags, device)
-    batch = model_rows or rows
-    trace = ExecutionTrace(notes=dict(single_row.notes))
-    trace.kernels = [kernel.scaled(batch) for kernel in single_row.kernels]
-    trace.notes["batch_rows"] = batch
+        # The single-row kernel pipeline, traffic scaled by the batch size but
+        # launch count unchanged (one fused launch covers all rows).
+        single_row = build_trace(
+            padded_n, network_k, matrix.dtype.itemsize, flags, device
+        )
+        batch = model_rows or rows
+        trace = ExecutionTrace(notes=dict(single_row.notes))
+        trace.kernels = [kernel.scaled(batch) for kernel in single_row.kernels]
+        trace.notes["batch_rows"] = batch
+        from repro.observability.instrument import record_trace
+
+        span.set(simulated_ms=record_trace(trace, device))
     return TopKResult(
         values=values[:, :k].copy(),
         indices=indices[:, :k].copy(),

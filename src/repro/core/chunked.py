@@ -24,10 +24,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
 from repro.algorithms.registry import create
 from repro.bitonic.topk import BitonicTopK
-from repro.errors import InvalidParameterError
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import trace_time
@@ -84,7 +84,6 @@ class ChunkedTopK:
     def plan(self, n: int, k: int, dtype: np.dtype) -> ChunkPlan:
         """Pipeline plan for an input of ``n`` elements of ``dtype``."""
         dtype = np.dtype(dtype)
-        total_bytes = n * dtype.itemsize
         chunk_elements = min(n, max(k, self.chunk_budget // dtype.itemsize))
         num_chunks = math.ceil(n / chunk_elements)
         transfer = self.device.pcie_transfer_time(chunk_elements * dtype.itemsize)
@@ -105,30 +104,52 @@ class ChunkedTopK:
         validate_topk_args(data, k)
         n = len(data)
         model = model_n or n
-        plan = self.plan(model, k, data.dtype)
+        with obs.span(
+            "chunked",
+            category="scheduler",
+            n=n,
+            k=k,
+            model_n=model,
+            algorithm=self.algorithm_name,
+        ) as span:
+            plan = self.plan(model, k, data.dtype)
+            span.set(chunks=plan.num_chunks)
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.gauge("chunked.num_chunks").set(plan.num_chunks)
+                registry.gauge("chunked.overlap_efficiency").set(
+                    plan.overlap_efficiency
+                )
 
-        algorithm = create(self.algorithm_name, self.device)
-        functional_chunk = max(k, math.ceil(n / plan.num_chunks))
-        candidate_values: list[np.ndarray] = []
-        candidate_rows: list[np.ndarray] = []
-        for start in range(0, n, functional_chunk):
-            chunk = data[start : start + functional_chunk]
-            chunk_k = min(k, len(chunk))
-            result = algorithm.run(chunk, chunk_k)
-            candidate_values.append(result.values)
-            candidate_rows.append(result.indices + start)
-        values = np.concatenate(candidate_values)
-        rows = np.concatenate(candidate_rows)
-        order = np.argsort(values, kind="stable")[::-1][:k]
+            algorithm = create(self.algorithm_name, self.device)
+            functional_chunk = max(k, math.ceil(n / plan.num_chunks))
+            candidate_values: list[np.ndarray] = []
+            candidate_rows: list[np.ndarray] = []
+            # Per-chunk runs execute functionally; their cost is already
+            # accounted by the pipeline trace below, so suspend observation
+            # to avoid double-counting their kernels.
+            with obs.suspended():
+                for start in range(0, n, functional_chunk):
+                    chunk = data[start : start + functional_chunk]
+                    chunk_k = min(k, len(chunk))
+                    result = algorithm.run(chunk, chunk_k)
+                    candidate_values.append(result.values)
+                    candidate_rows.append(result.indices + start)
+            values = np.concatenate(candidate_values)
+            rows = np.concatenate(candidate_rows)
+            order = np.argsort(values, kind="stable")[::-1][:k]
 
-        trace = ExecutionTrace()
-        pipeline = trace.launch("chunk-pipeline")
-        pipeline.fixed_seconds = plan.pipeline_seconds
-        final = trace.launch("final-reduce")
-        final.add_global_read(float(plan.num_chunks * k) * data.dtype.itemsize)
-        final.add_global_write(float(k) * data.dtype.itemsize)
-        trace.notes["chunks"] = plan.num_chunks
-        trace.notes["overlap_efficiency"] = plan.overlap_efficiency
+            trace = ExecutionTrace()
+            pipeline = trace.launch("chunk-pipeline")
+            pipeline.fixed_seconds = plan.pipeline_seconds
+            final = trace.launch("final-reduce")
+            final.add_global_read(float(plan.num_chunks * k) * data.dtype.itemsize)
+            final.add_global_write(float(k) * data.dtype.itemsize)
+            trace.notes["chunks"] = plan.num_chunks
+            trace.notes["overlap_efficiency"] = plan.overlap_efficiency
+            from repro.observability.instrument import record_trace
+
+            span.set(simulated_ms=record_trace(trace, self.device))
         return TopKResult(
             values=values[order].copy(),
             indices=rows[order].copy(),
@@ -156,14 +177,16 @@ def _chunk_compute_seconds(
             chunk_elements, network_k, dtype.itemsize, algorithm.flags, device
         )
         return trace_time(trace, device).total
-    # Fall back to a tiny probe run extrapolated to the chunk size.
+    # Fall back to a tiny probe run extrapolated to the chunk size.  The
+    # probe is a planning estimate, not real work — keep it out of traces.
     probe_n = min(chunk_elements, 1 << 14)
     rng = np.random.default_rng(0)
     if np.dtype(dtype).kind == "f":
         probe = rng.random(probe_n).astype(dtype)
     else:
         probe = rng.integers(0, 2**31, probe_n).astype(dtype)
-    result = algorithm.run(probe, min(k, probe_n), model_n=chunk_elements)
+    with obs.suspended():
+        result = algorithm.run(probe, min(k, probe_n), model_n=chunk_elements)
     return result.simulated_time(device).total
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
 from repro.costmodel.bitonic_model import BitonicModel
 from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
@@ -63,13 +64,34 @@ class TopKPlanner:
                 f"invalid top-k configuration: n = {n}, k = {k}"
             )
         dtype = np.dtype(dtype)
-        ranking: list[tuple[str, float]] = []
-        for model in self.models:
-            if not model.supports(n, k, dtype):
-                continue
-            ranking.append((model.algorithm, model.predict_seconds(n, k, dtype, profile)))
-        ranking.sort(key=lambda item: item[1])
-        best_name, best_time = ranking[0]
+        with obs.span(
+            "plan",
+            category="planner",
+            n=n,
+            k=k,
+            dtype=str(dtype),
+            profile=profile.name,
+        ) as span:
+            ranking: list[tuple[str, float]] = []
+            for model in self.models:
+                if not model.supports(n, k, dtype):
+                    continue
+                ranking.append(
+                    (model.algorithm, model.predict_seconds(n, k, dtype, profile))
+                )
+            ranking.sort(key=lambda item: item[1])
+            best_name, best_time = ranking[0]
+            span.set(
+                algorithm=best_name,
+                predicted_ms=best_time * 1e3,
+                candidates=len(ranking),
+            )
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.counter("planner.decisions", algorithm=best_name).inc()
+                registry.gauge("planner.predicted_ms", algorithm=best_name).set(
+                    best_time * 1e3
+                )
         return PlanChoice(
             algorithm=best_name,
             predicted_seconds=best_time,

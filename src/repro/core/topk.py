@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.algorithms.registry import create
 from repro.core.planner import TopKPlanner
@@ -75,18 +76,32 @@ def topk(
     values = np.asarray(values)
     validate_topk_args(values, k)
     device = device or get_device()
-    if algorithm == "auto":
-        choice = TopKPlanner(device).choose(len(values), k, values.dtype, profile)
-        algorithm = choice.algorithm
-    implementation = create(algorithm, device)
+    with obs.span(
+        "topk",
+        category="api",
+        n=len(values),
+        k=k,
+        largest=largest,
+        requested_algorithm=algorithm,
+        device=device.name,
+    ) as span:
+        if algorithm == "auto":
+            choice = TopKPlanner(device).choose(len(values), k, values.dtype, profile)
+            algorithm = choice.algorithm
+        implementation = create(algorithm, device)
 
-    if largest:
-        return implementation.run(values, k, model_n=model_n)
-
-    reversed_keys = _order_reversed(values)
-    result = implementation.run(reversed_keys, k, model_n=model_n)
-    # Map the reversed-key results back to the original values.
-    result.values = values[result.indices].copy()
+        if largest:
+            result = implementation.run(values, k, model_n=model_n)
+        else:
+            reversed_keys = _order_reversed(values)
+            result = implementation.run(reversed_keys, k, model_n=model_n)
+            # Map the reversed-key results back to the original values.
+            result.values = values[result.indices].copy()
+        span.set(algorithm=result.algorithm)
+        registry = obs.active_metrics()
+        if registry is not None:
+            registry.counter("topk.api_calls", algorithm=result.algorithm).inc()
+            registry.histogram("topk.k").observe(k)
     return result
 
 

@@ -18,7 +18,6 @@ overheads, so it underestimates the measured times (Figure 17).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

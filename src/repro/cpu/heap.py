@@ -13,7 +13,7 @@ ourselves rather than using :mod:`heapq` so that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InvalidParameterError
 

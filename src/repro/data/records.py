@@ -12,7 +12,7 @@ should run top-k on (key, row-id) and gather the payload afterwards;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,14 +21,14 @@ paper-scale timings (250M tweets) from a smaller functional table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.optimizations import FULL, OptimizationFlags
 from repro.bitonic.topk import BitonicTopK
-from repro.engine.expressions import Expression, column_width
 from repro.engine.sql import Query, parse
 from repro.engine.table import Table
 from repro.errors import UnsupportedQueryError
@@ -102,11 +102,35 @@ class QueryExecutor:
                 f"{self.table.name!r}"
             )
         model = model_rows or len(self.table)
-        if query.group_by:
-            return self._execute_group_by(query, strategy, model)
-        if query.order_by is not None and query.limit is not None:
-            return self._execute_topk(query, strategy, model)
-        return self._execute_scan(query, model)
+        with obs.span(
+            "query",
+            category="engine",
+            table=query.table,
+            strategy=strategy,
+            model_rows=model,
+        ) as span:
+            if query.group_by:
+                result = self._execute_group_by(query, strategy, model)
+            elif query.order_by is not None and query.limit is not None:
+                result = self._execute_topk(query, strategy, model)
+            else:
+                result = self._execute_scan(query, model)
+            # Attribute the query's kernel launches (one span each, with
+            # simulated time) and publish engine metrics.
+            from repro.observability.instrument import record_trace
+
+            sim_ms = record_trace(result.trace, self.device)
+            span.set(
+                result_rows=result.num_result_rows,
+                launches=result.trace.num_launches,
+                simulated_ms=sim_ms,
+            )
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.counter("engine.queries", strategy=result.strategy).inc()
+                registry.counter("engine.input_rows").inc(result.num_input_rows)
+                registry.counter("engine.result_rows").inc(result.num_result_rows)
+        return result
 
     # -- plain scans ----------------------------------------------------
 
@@ -144,7 +168,15 @@ class QueryExecutor:
             if not keys[0][1]:
                 ranks = -ranks
             candidate_ranks = ranks[mask].astype(np.float32)
-            top = BitonicTopK(self.device, self.flags).run(candidate_ranks, k)
+            # The functional selection is an implementation detail, not a
+            # modeled kernel; its launches are re-accounted by the query's
+            # own trace, so keep them out of the observed execution.
+            with obs.span(
+                "phase:functional-topk",
+                category="phase",
+                candidates=len(candidate_rows),
+            ), obs.suspended():
+                top = BitonicTopK(self.device, self.flags).run(candidate_ranks, k)
             result_rows = candidate_rows[top.indices]
         else:
             # Multi-key lexicographic order (the KKV kernel of Section
@@ -256,9 +288,12 @@ class QueryExecutor:
             if not query.order_desc:
                 rank = -rank
             k = min(query.limit, len(groups))
-            top = BitonicTopK(self.device, self.flags).run(
-                rank.astype(np.float64), k
-            )
+            with obs.span(
+                "phase:functional-topk", category="phase", candidates=len(groups)
+            ), obs.suspended():
+                top = BitonicTopK(self.device, self.flags).run(
+                    rank.astype(np.float64), k
+                )
             order = top.indices
         else:
             order = np.argsort(counts)[::-1]

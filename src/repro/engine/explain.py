@@ -9,7 +9,7 @@ or computed ranking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.engine.executor import STRATEGIES, QueryExecutor
 from repro.engine.sql import Query, parse

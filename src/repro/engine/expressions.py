@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.table import Table
-from repro.errors import InvalidParameterError, UnsupportedQueryError
+from repro.errors import UnsupportedQueryError
 
 
 class Expression(abc.ABC):

@@ -11,6 +11,9 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
+from repro import observability as obs
 from repro.bitonic.optimizations import FULL, OptimizationFlags
 from repro.engine.executor import QueryExecutor, QueryResult
 from repro.engine.sql import parse
@@ -20,16 +23,49 @@ from repro.gpu.device import DeviceSpec, get_device
 
 
 class Session:
-    """Holds registered tables and dispatches queries to executors."""
+    """Holds registered tables and dispatches queries to executors.
+
+    With ``trace=True`` the session owns an
+    :class:`~repro.observability.Observation` — a tracer plus a metrics
+    registry — that is active for every query it runs, accumulating spans
+    and metrics across queries:
+
+        >>> session = Session(trace=True)
+        >>> session.register(generate_tweets(1 << 14))
+        >>> _ = session.sql(
+        ...     "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 5"
+        ... )
+        >>> print(session.tracer.render())
+        >>> obs.write_chrome_trace("trace.json", session.tracer, session.metrics)
+    """
 
     def __init__(
         self,
         device: DeviceSpec | None = None,
         flags: OptimizationFlags = FULL,
+        trace: bool = False,
     ):
         self.device = device or get_device()
         self.flags = flags
         self._tables: dict[str, Table] = {}
+        self.observation: obs.Observation | None = (
+            obs.Observation(obs.Tracer(), obs.MetricsRegistry()) if trace else None
+        )
+
+    @property
+    def tracer(self) -> obs.Tracer | None:
+        """The session's tracer (None unless constructed with trace=True)."""
+        return self.observation.tracer if self.observation else None
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry | None:
+        """The session's metrics registry (None unless trace=True)."""
+        return self.observation.metrics if self.observation else None
+
+    def _observed(self):
+        if self.observation is None:
+            return nullcontext()
+        return self.observation.activate()
 
     def register(self, table: Table) -> None:
         """Register (or replace) a table by its name."""
@@ -57,15 +93,17 @@ class Session:
         ``model_rows`` scales the execution trace to a larger modeled table
         (e.g. the paper's 250M tweets).
         """
-        query = parse(text)
-        executor = QueryExecutor(self.table(query.table), self.device, self.flags)
-        return executor.execute(query, strategy, model_rows)
+        with self._observed():
+            query = parse(text)
+            executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+            return executor.execute(query, strategy, model_rows)
 
     def explain(self, text: str, model_rows: int | None = None):
         """Cost out every execution strategy for a query (see
         :func:`repro.engine.explain.explain`)."""
         from repro.engine.explain import explain as explain_query
 
-        query = parse(text)
-        executor = QueryExecutor(self.table(query.table), self.device, self.flags)
-        return explain_query(executor, text, model_rows)
+        with self._observed():
+            query = parse(text)
+            executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+            return explain_query(executor, text, model_rows)

@@ -16,7 +16,7 @@ results) while auditing every access:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.gpu.banks import warp_conflict_factor

@@ -33,10 +33,11 @@ the real deadlock).  Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Iterable
+from typing import Callable, Generator
 
 from repro.errors import SimulationError
 from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.observability import active_metrics, span as obs_span
 
 
 @dataclass
@@ -107,26 +108,39 @@ class ThreadBlock:
         wait at a barrier is the classic ``__syncthreads()`` divergence bug
         and raises :class:`SimulationError`.
         """
-        threads = [kernel(ThreadContext(tid, self)) for tid in range(self.num_threads)]
-        live = list(range(self.num_threads))
-        while live:
-            finished: list[int] = []
-            waiting: list[int] = []
-            for tid in live:
-                try:
-                    next(threads[tid])
-                    waiting.append(tid)
-                except StopIteration:
-                    finished.append(tid)
-            self._flush()
-            if waiting and finished:
-                raise SimulationError(
-                    f"barrier divergence: threads {waiting[:4]}... reached a "
-                    f"barrier that threads {finished[:4]}... never will"
+        with obs_span(
+            "simt:block", category="simt", threads=self.num_threads
+        ) as block_span:
+            threads = [
+                kernel(ThreadContext(tid, self)) for tid in range(self.num_threads)
+            ]
+            live = list(range(self.num_threads))
+            while live:
+                finished: list[int] = []
+                waiting: list[int] = []
+                for tid in live:
+                    try:
+                        next(threads[tid])
+                        waiting.append(tid)
+                    except StopIteration:
+                        finished.append(tid)
+                self._flush()
+                if waiting and finished:
+                    raise SimulationError(
+                        f"barrier divergence: threads {waiting[:4]}... reached a "
+                        f"barrier that threads {finished[:4]}... never will"
+                    )
+                if waiting:
+                    self.barriers_executed += 1
+                live = waiting
+            block_span.set(barriers=self.barriers_executed)
+            registry = active_metrics()
+            if registry is not None:
+                registry.counter("simt.blocks").inc()
+                registry.counter("simt.barriers").inc(self.barriers_executed)
+                registry.histogram("simt.threads_per_block").observe(
+                    self.num_threads
                 )
-            if waiting:
-                self.barriers_executed += 1
-            live = waiting
 
     def _flush(self) -> None:
         self.shared.flush_epoch()
@@ -146,11 +160,19 @@ def run_grid(
     ``kernel_factory(block_id)`` returns the kernel to run for that block.
     Returns the executed blocks so callers can inspect per-block statistics.
     """
-    blocks = []
-    for block_id in range(num_blocks):
-        block = ThreadBlock(
-            threads_per_block, shared_words=shared_words, global_memory=global_memory
-        )
-        block.run(kernel_factory(block_id))
-        blocks.append(block)
+    with obs_span(
+        "simt:grid",
+        category="simt",
+        blocks=num_blocks,
+        threads_per_block=threads_per_block,
+    ):
+        blocks = []
+        for block_id in range(num_blocks):
+            block = ThreadBlock(
+                threads_per_block,
+                shared_words=shared_words,
+                global_memory=global_memory,
+            )
+            block.run(kernel_factory(block_id))
+            blocks.append(block)
     return blocks

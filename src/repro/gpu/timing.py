@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.gpu.counters import ExecutionTrace, KernelCounters
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import bandwidth_derating
+from repro.observability import active_metrics
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,14 @@ class TraceTime:
 
 def trace_time(trace: ExecutionTrace, device: DeviceSpec) -> TraceTime:
     """Simulated time of an execution trace (sum over kernel launches)."""
-    return TraceTime(tuple(kernel_time(k, device) for k in trace.kernels))
+    timing = TraceTime(tuple(kernel_time(k, device) for k in trace.kernels))
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("timing.trace_time_calls").inc()
+        registry.histogram("timing.trace_total_ms", device=device.name).observe(
+            timing.total_ms
+        )
+    return timing
 
 
 def memory_bandwidth_bound(num_bytes: float, device: DeviceSpec) -> float:

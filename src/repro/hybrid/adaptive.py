@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms import keys as keycodec
 from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.algorithms.radix_sort import DIGIT_BITS
@@ -111,7 +112,20 @@ class AdaptiveTopK:
 
     def profile(self, data: np.ndarray, k: int) -> WorkloadProfile:
         """Measured workload profile for the cost models."""
-        statistics = measure_sample(self.sample(data), k)
+        with obs.span(
+            "adaptive-sample", category="scheduler", sample_size=self.sample_size
+        ) as span:
+            statistics = measure_sample(self.sample(data), k)
+            span.set(
+                sortedness=statistics.sortedness,
+                eta_0=statistics.radix_survivor_fractions[0],
+            )
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.gauge("adaptive.sortedness").set(statistics.sortedness)
+                registry.gauge("adaptive.eta_0").set(
+                    statistics.radix_survivor_fractions[0]
+                )
         return WorkloadProfile(
             name="sampled",
             radix_survivor_fractions=statistics.radix_survivor_fractions,
@@ -127,8 +141,17 @@ class AdaptiveTopK:
         self, data: np.ndarray, k: int, model_n: int | None = None
     ) -> TopKResult:
         validate_topk_args(data, k)
-        choice = self.choose(data, k, model_n)
-        algorithm = create(choice.algorithm, self.device)
-        result = algorithm.run(data, k, model_n=model_n)
+        with obs.span(
+            "adaptive", category="scheduler", n=len(data), k=k
+        ) as span:
+            choice = self.choose(data, k, model_n)
+            algorithm = create(choice.algorithm, self.device)
+            result = algorithm.run(data, k, model_n=model_n)
+            span.set(algorithm=choice.algorithm)
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.counter(
+                    "adaptive.decisions", algorithm=choice.algorithm
+                ).inc()
         result.trace.notes["adaptive_choice"] = 1.0
         return result

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.bitonic.topk import BitonicTopK
 from repro.costmodel.bitonic_model import BitonicModel
@@ -84,35 +85,49 @@ class HybridTopK:
         validate_topk_args(data, k)
         n = len(data)
         model = model_n or n
-        split = self.plan_split(model, k, data.dtype)
+        with obs.span(
+            "hybrid-cpu-gpu", category="scheduler", n=n, k=k, model_n=model
+        ) as span:
+            split = self.plan_split(model, k, data.dtype)
+            span.set(gpu_fraction=split.gpu_fraction)
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.gauge("hybrid.gpu_fraction").set(split.gpu_fraction)
 
-        boundary = int(round(split.gpu_fraction * n))
-        boundary = min(max(boundary, 0), n)
-        parts: list[TopKResult] = []
-        offsets: list[int] = []
-        if boundary >= 1:
-            gpu_k = min(k, boundary)
-            parts.append(self._gpu_algorithm.run(data[:boundary], gpu_k))
-            offsets.append(0)
-        if n - boundary >= 1:
-            cpu_k = min(k, n - boundary)
-            parts.append(self._cpu_algorithm.run(data[boundary:], cpu_k))
-            offsets.append(boundary)
+            boundary = int(round(split.gpu_fraction * n))
+            boundary = min(max(boundary, 0), n)
+            parts: list[TopKResult] = []
+            offsets: list[int] = []
+            # The inner runs execute functionally; their kernels are
+            # re-accounted by this scheduler's own concurrent/reduce trace,
+            # so suspend observation to avoid double-counting them.
+            with obs.suspended():
+                if boundary >= 1:
+                    gpu_k = min(k, boundary)
+                    parts.append(self._gpu_algorithm.run(data[:boundary], gpu_k))
+                    offsets.append(0)
+                if n - boundary >= 1:
+                    cpu_k = min(k, n - boundary)
+                    parts.append(self._cpu_algorithm.run(data[boundary:], cpu_k))
+                    offsets.append(boundary)
 
-        values = np.concatenate([part.values for part in parts])
-        rows = np.concatenate(
-            [part.indices + offset for part, offset in zip(parts, offsets)]
-        )
-        order = np.argsort(values, kind="stable")[::-1][:k]
+            values = np.concatenate([part.values for part in parts])
+            rows = np.concatenate(
+                [part.indices + offset for part, offset in zip(parts, offsets)]
+            )
+            order = np.argsort(values, kind="stable")[::-1][:k]
 
-        trace = ExecutionTrace()
-        concurrent = trace.launch("hybrid-concurrent")
-        concurrent.fixed_seconds = split.makespan
-        reduce = trace.launch("hybrid-reduce")
-        reduce.add_global_read(float(2 * k) * data.dtype.itemsize)
-        trace.notes["gpu_fraction"] = split.gpu_fraction
-        trace.notes["gpu_seconds"] = split.gpu_seconds
-        trace.notes["cpu_seconds"] = split.cpu_seconds
+            trace = ExecutionTrace()
+            concurrent = trace.launch("hybrid-concurrent")
+            concurrent.fixed_seconds = split.makespan
+            reduce = trace.launch("hybrid-reduce")
+            reduce.add_global_read(float(2 * k) * data.dtype.itemsize)
+            trace.notes["gpu_fraction"] = split.gpu_fraction
+            trace.notes["gpu_seconds"] = split.gpu_seconds
+            trace.notes["cpu_seconds"] = split.cpu_seconds
+            from repro.observability.instrument import record_trace
+
+            span.set(simulated_ms=record_trace(trace, self.device))
         return TopKResult(
             values=values[order].copy(),
             indices=rows[order].copy(),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.bitonic.topk import BitonicTopK
 from repro.costmodel.bitonic_model import BitonicModel
@@ -79,39 +80,57 @@ class MultiGpuTopK:
         validate_topk_args(data, k)
         n = len(data)
         model = model_n or n
-        shares = self.plan_shares(model, k, data.dtype)
+        with obs.span(
+            "multi-gpu",
+            category="scheduler",
+            n=n,
+            k=k,
+            model_n=model,
+            devices=len(self.devices),
+        ) as span:
+            shares = self.plan_shares(model, k, data.dtype)
+            registry = obs.active_metrics()
+            if registry is not None:
+                registry.gauge("multi_gpu.devices").set(len(self.devices))
 
-        boundaries = np.cumsum(
-            [0] + [int(round(share.fraction * n)) for share in shares]
-        )
-        boundaries[-1] = n
-        candidate_values: list[np.ndarray] = []
-        candidate_rows: list[np.ndarray] = []
-        for share, start, stop in zip(shares, boundaries, boundaries[1:]):
-            slice_ = data[start:stop]
-            if len(slice_) == 0:
-                continue
-            local_k = min(k, len(slice_))
-            result = BitonicTopK(share.device).run(slice_, local_k)
-            candidate_values.append(result.values)
-            candidate_rows.append(result.indices + start)
-        values = np.concatenate(candidate_values)
-        rows = np.concatenate(candidate_rows)
-        order = np.argsort(values, kind="stable")[::-1][:k]
+            boundaries = np.cumsum(
+                [0] + [int(round(share.fraction * n)) for share in shares]
+            )
+            boundaries[-1] = n
+            candidate_values: list[np.ndarray] = []
+            candidate_rows: list[np.ndarray] = []
+            # Per-device runs execute functionally; their kernels are
+            # re-accounted by the scheduler's own concurrent/gather/reduce
+            # trace, so suspend observation to avoid double-counting.
+            with obs.suspended():
+                for share, start, stop in zip(shares, boundaries, boundaries[1:]):
+                    slice_ = data[start:stop]
+                    if len(slice_) == 0:
+                        continue
+                    local_k = min(k, len(slice_))
+                    result = BitonicTopK(share.device).run(slice_, local_k)
+                    candidate_values.append(result.values)
+                    candidate_rows.append(result.indices + start)
+            values = np.concatenate(candidate_values)
+            rows = np.concatenate(candidate_rows)
+            order = np.argsort(values, kind="stable")[::-1][:k]
 
-        first = self.devices[0]
-        trace = ExecutionTrace()
-        concurrent = trace.launch("multi-gpu-concurrent")
-        concurrent.fixed_seconds = max(share.seconds for share in shares)
-        gather = trace.launch("multi-gpu-gather")
-        gather_bytes = float(len(self.devices) * k) * data.dtype.itemsize
-        gather.fixed_seconds = gather_bytes / first.pcie_bandwidth
-        reduce = trace.launch("multi-gpu-reduce")
-        reduce.add_global_read(gather_bytes)
-        reduce.add_global_write(float(k) * data.dtype.itemsize)
-        trace.notes["devices"] = len(self.devices)
-        for index, share in enumerate(shares):
-            trace.notes[f"fraction_{index}"] = share.fraction
+            first = self.devices[0]
+            trace = ExecutionTrace()
+            concurrent = trace.launch("multi-gpu-concurrent")
+            concurrent.fixed_seconds = max(share.seconds for share in shares)
+            gather = trace.launch("multi-gpu-gather")
+            gather_bytes = float(len(self.devices) * k) * data.dtype.itemsize
+            gather.fixed_seconds = gather_bytes / first.pcie_bandwidth
+            reduce = trace.launch("multi-gpu-reduce")
+            reduce.add_global_read(gather_bytes)
+            reduce.add_global_write(float(k) * data.dtype.itemsize)
+            trace.notes["devices"] = len(self.devices)
+            for index, share in enumerate(shares):
+                trace.notes[f"fraction_{index}"] = share.fraction
+            from repro.observability.instrument import record_trace
+
+            span.set(simulated_ms=record_trace(trace, first))
         return TopKResult(
             values=values[order].copy(),
             indices=rows[order].copy(),

@@ -1,0 +1,216 @@
+"""Exporters: JSON-lines and Chrome ``chrome://tracing`` trace format.
+
+JSON-lines is the machine-readable archive format (one record per line:
+a ``meta`` header, every span, every metric instrument); it round-trips
+back into a :class:`~repro.observability.tracer.Tracer` via
+:func:`load_jsonl`, which is what the regression tests rely on.
+
+The Chrome trace format is the human one: load the file at
+``chrome://tracing`` (or https://ui.perfetto.dev) to see two process
+tracks — real wall-clock time of the Python reproduction and simulated
+device time from the timing model.  Kernel-launch spans are emitted with
+``cat == "kernel"``, and their durations sum exactly to the result's
+``simulated_ms()`` total, which the CLI and tests verify.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Span, Tracer
+
+#: Chrome trace process ids for the two time domains.
+WALL_PID = 1
+SIM_PID = 2
+
+
+def _json_default(value):
+    """Serialize numpy scalars / dtypes and other oddballs."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def _span_record(span: Span) -> dict:
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "start_wall": span.start_wall,
+        "end_wall": span.end_wall,
+        "sim_ms": span.sim_ms,
+        "attributes": span.attributes,
+    }
+
+
+def to_jsonl(tracer: Tracer, metrics: MetricsRegistry | None = None) -> str:
+    """Serialize a trace (and optionally metrics) to JSON-lines."""
+    records: list[dict] = [{"type": "meta", "format": "repro-trace", "version": 1}]
+    records.extend(_span_record(span) for span in tracer.walk())
+    if metrics is not None:
+        for record in metrics.snapshot():
+            records.append({"type": "metric", **record})
+    return "\n".join(json.dumps(record, default=_json_default) for record in records)
+
+
+def write_jsonl(
+    path: str | Path, tracer: Tracer, metrics: MetricsRegistry | None = None
+) -> None:
+    Path(path).write_text(to_jsonl(tracer, metrics) + "\n")
+
+
+def load_jsonl(text: str | Iterable[str]) -> tuple[Tracer, list[dict]]:
+    """Rebuild a :class:`Tracer` and metric records from JSON-lines.
+
+    The reconstructed tracer is read-only in spirit: spans carry the
+    recorded clocks and attributes and are wired into the original tree.
+    """
+    if isinstance(text, str):
+        lines = text.splitlines()
+    else:
+        lines = list(text)
+    tracer = Tracer()
+    spans: dict[int, Span] = {}
+    metrics: list[dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "metric":
+            metrics.append(record)
+            continue
+        if kind != "span":
+            continue
+        span = Span(
+            name=record["name"],
+            category=record["category"],
+            span_id=record["id"],
+            parent_id=record["parent"],
+            start_wall=record["start_wall"],
+            attributes=record["attributes"],
+        )
+        span.end_wall = record["end_wall"]
+        span.sim_ms = record["sim_ms"]
+        spans[span.span_id] = span
+        parent = spans.get(record["parent"])
+        if parent is None:
+            tracer.roots.append(span)
+        else:
+            parent.children.append(span)
+    tracer._next_id = max(spans, default=0) + 1
+    return tracer, metrics
+
+
+# -- Chrome trace format -------------------------------------------------
+
+
+def _wall_events(span: Span, events: list[dict]) -> None:
+    end = span.end_wall if span.end_wall is not None else span.start_wall
+    events.append(
+        {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_wall * 1e6,
+            "dur": (end - span.start_wall) * 1e6,
+            "pid": WALL_PID,
+            "tid": 1,
+            "args": dict(span.attributes),
+        }
+    )
+    for child in span.children:
+        _wall_events(child, events)
+
+
+def _sim_events(span: Span, cursor_us: float, events: list[dict]) -> float:
+    """Lay the simulated timeline out depth-first; returns the new cursor.
+
+    A span's interval covers its own simulated time followed by its
+    children's, so parents visually contain their children exactly as the
+    wall-clock track does.
+    """
+    total_us = span.total_sim_ms * 1e3
+    if total_us <= 0 and not span.children:
+        return cursor_us
+    events.append(
+        {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": cursor_us,
+            "dur": total_us,
+            "pid": SIM_PID,
+            "tid": 1,
+            "args": dict(span.attributes),
+        }
+    )
+    child_cursor = cursor_us + span.sim_ms * 1e3
+    for child in span.children:
+        child_cursor = _sim_events(child, child_cursor, events)
+    return cursor_us + total_us
+
+
+def to_chrome_trace(tracer: Tracer, metrics: MetricsRegistry | None = None) -> dict:
+    """The trace as a Chrome trace-event JSON object.
+
+    Timestamps and durations are microseconds (the format's unit).  The
+    wall-clock process shows real Python execution; the simulated process
+    shows modeled device time with one ``cat == "kernel"`` event per
+    kernel launch.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": WALL_PID,
+            "args": {"name": "wall clock (reproduction)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SIM_PID,
+            "args": {"name": "simulated device time"},
+        },
+    ]
+    for root in tracer.roots:
+        _wall_events(root, events)
+    cursor = 0.0
+    for root in tracer.roots:
+        cursor = _sim_events(root, cursor, events)
+    document: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics.snapshot()}
+    return document
+
+
+def write_chrome_trace(
+    path: str | Path, tracer: Tracer, metrics: MetricsRegistry | None = None
+) -> None:
+    Path(path).write_text(
+        json.dumps(to_chrome_trace(tracer, metrics), indent=2, default=_json_default)
+    )
+
+
+def kernel_sim_total_ms(document: dict) -> float:
+    """Sum of ``cat == "kernel"`` durations in a Chrome trace, in ms.
+
+    The invariant the acceptance tests pin down: for a traced ``topk()``
+    this equals ``TopKResult.simulated_ms()``.  Only the simulated-time
+    process counts — the wall-clock track duplicates the kernel spans with
+    real (Python) durations.
+    """
+    return sum(
+        event.get("dur", 0.0)
+        for event in document.get("traceEvents", [])
+        if event.get("cat") == "kernel"
+        and event.get("ph") == "X"
+        and event.get("pid") == SIM_PID
+    ) / 1e3

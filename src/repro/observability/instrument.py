@@ -1,0 +1,126 @@
+"""Bridges between the GPU simulation layer and the observability layer.
+
+This module is imported by instrumentation *call sites* (the public
+``topk`` entry point, the query executor, the hybrid schedulers), never
+by the observability core — it imports :mod:`repro.gpu.timing`, and
+keeping it out of ``repro.observability.__init__`` avoids an import
+cycle with the gpu package's own metrics publishing.
+
+The central helper, :func:`record_trace`, converts an
+:class:`~repro.gpu.counters.ExecutionTrace` into
+
+* one ``category == "kernel"`` child span per kernel launch whose
+  ``sim_ms`` is the launch's simulated time on the device — these are the
+  events whose durations sum to ``TopKResult.simulated_ms()``; and
+* metric updates: launch counts, global/shared traffic, atomics, and a
+  per-kernel simulated-time histogram.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+
+from repro.gpu.counters import ExecutionTrace
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timing import kernel_time
+from repro.observability import active_metrics, current_tracer
+
+#: Kernel names carry per-pass suffixes ("select-histogram-3"); metrics
+#: label by the family so cardinality stays bounded.
+_PASS_SUFFIX = re.compile(r"-\d+$")
+
+
+def kernel_family(name: str) -> str:
+    return _PASS_SUFFIX.sub("", name)
+
+
+def record_trace(trace: ExecutionTrace, device: DeviceSpec) -> float:
+    """Record an execution trace's kernels as spans + metrics.
+
+    Child spans land under the caller's currently open span.  Returns the
+    trace's total simulated milliseconds (0.0 when observation is off and
+    nothing was computed).
+    """
+    tracer = current_tracer()
+    metrics = active_metrics()
+    if tracer is None and metrics is None:
+        return 0.0
+
+    total_ms = 0.0
+    for counters in trace.kernels:
+        timing = kernel_time(counters, device)
+        sim_ms = timing.total * 1e3
+        total_ms += sim_ms
+        if tracer is not None:
+            with tracer.span(
+                f"kernel:{counters.name}",
+                category="kernel",
+                bound_by=timing.bound_by,
+                global_bytes=counters.global_bytes,
+                shared_bytes=counters.shared_bytes,
+                atomic_ops=counters.atomic_ops,
+                occupancy=counters.occupancy,
+            ) as span:
+                span.add_simulated_ms(sim_ms)
+        if metrics is not None:
+            family = kernel_family(counters.name)
+            metrics.counter("gpu.kernel_launches", kernel=family).inc()
+            metrics.counter("gpu.global_bytes").inc(counters.global_bytes)
+            metrics.counter("gpu.shared_bytes").inc(counters.shared_bytes)
+            metrics.counter("gpu.shared_bytes_weighted").inc(
+                counters.shared_bytes_weighted
+            )
+            metrics.counter("gpu.atomic_ops").inc(counters.atomic_ops)
+            metrics.counter("gpu.divergent_iterations").inc(
+                counters.divergent_iterations
+            )
+            metrics.histogram("gpu.kernel_sim_ms", kernel=family).observe(sim_ms)
+    if metrics is not None:
+        metrics.counter("gpu.traces_recorded").inc()
+        metrics.counter("gpu.simulated_ms_total").inc(total_ms)
+        for note, value in trace.notes.items():
+            try:
+                metrics.gauge("trace.note", note=note).set(float(value))
+            except (TypeError, ValueError):
+                continue
+    return total_ms
+
+
+def traced_algorithm(run_method):
+    """Wrap a :meth:`TopKAlgorithm.run` with span + kernel recording.
+
+    Applied automatically by ``TopKAlgorithm.__init_subclass__``, so every
+    algorithm — the five GPU baselines, bitonic top-k, the CPU variants,
+    and user-registered subclasses — emits an ``algorithm:<name>`` span
+    whose children are its kernel launches.  When observation is disabled
+    the wrapper costs two context-var reads and delegates immediately.
+    """
+
+    @functools.wraps(run_method)
+    def traced_run(self, data, k, model_n=None):
+        tracer = current_tracer()
+        metrics = active_metrics()
+        if tracer is None and metrics is None:
+            return run_method(self, data, k, model_n=model_n)
+        if metrics is not None:
+            metrics.counter("topk.runs", algorithm=self.name).inc()
+        if tracer is None:
+            result = run_method(self, data, k, model_n=model_n)
+            record_trace(result.trace, self.device)
+            return result
+        with tracer.span(
+            f"algorithm:{self.name}",
+            category="algorithm",
+            n=len(data),
+            k=k,
+            model_n=model_n or len(data),
+            dtype=str(data.dtype),
+        ) as span:
+            result = run_method(self, data, k, model_n=model_n)
+            sim_ms = record_trace(result.trace, self.device)
+            span.set(simulated_ms=sim_ms, launches=result.trace.num_launches)
+        return result
+
+    traced_run.__repro_traced__ = True
+    return traced_run

@@ -1,0 +1,188 @@
+"""Metrics: counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is the sink the GPU simulator, planner, engine
+executor, and hybrid schedulers publish into while observation is active.
+The model is deliberately Prometheus-shaped (instrument kinds, label
+sets, a flat snapshot) so an export to a real metrics backend is a
+serialization detail, not a redesign:
+
+* **Counter** — monotonically increasing totals (kernel launches, global
+  bytes moved, planner decisions);
+* **Gauge** — last-write-wins values (occupancy, selected split fraction);
+* **Histogram** — distribution summaries (per-kernel simulated
+  milliseconds, SIMT barrier counts) with power-of-two buckets.
+
+Instruments are created on first use and accumulate across queries until
+the registry is reset, which is what lets a long-lived
+:class:`~repro.engine.session.Session` aggregate per-query costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A distribution summary with logarithmic (power-of-two) buckets.
+
+    Tracks count / sum / min / max exactly; the bucket map counts
+    observations by ``ceil(log2(value))``, which is enough resolution to
+    separate a 0.1 ms kernel from a 100 ms one without storing samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if value <= 0:
+            bucket = -1025  # dedicated bucket for zero/negative observations
+        else:
+            bucket = math.ceil(math.log2(value))
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by (name, labels)."""
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, str, LabelKey], Instrument] = {}
+
+    def _get(self, factory, name: str, labels: dict) -> Instrument:
+        key = (factory.kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- views -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> list[dict]:
+        """JSON-serializable dump of every instrument."""
+        records = []
+        for instrument in self._instruments.values():
+            records.append(
+                {
+                    "kind": instrument.kind,
+                    "name": instrument.name,
+                    "labels": dict(instrument.labels),
+                    **instrument.snapshot(),
+                }
+            )
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def value(self, name: str, **labels) -> float | None:
+        """Convenience: the current value of a counter/gauge, or None."""
+        for kind in ("counter", "gauge"):
+            instrument = self._instruments.get((kind, name, _label_key(labels)))
+            if instrument is not None:
+                return instrument.value
+        return None
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def render(self) -> str:
+        """Fixed-width table of every instrument, for CLI output."""
+        lines = []
+        for record in self.snapshot():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(record["labels"].items()))
+            name = record["name"] + (f"{{{labels}}}" if labels else "")
+            if record["kind"] == "histogram":
+                detail = (
+                    f"count={record['count']} sum={record['sum']:.4f} "
+                    f"mean={record['mean']:.4f}"
+                )
+            else:
+                detail = f"{record['value']:.4f}"
+            lines.append(f"  {name:<56} {record['kind']:<9} {detail}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,6 +1,5 @@
 """Tests for the figure-runner CLI."""
 
-import pytest
 
 from repro.bench.cli import main
 

@@ -1,7 +1,6 @@
 """Property tests: expression evaluation agrees with numpy semantics."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

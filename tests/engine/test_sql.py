@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.expressions import BinaryOp, Column, Literal
+from repro.engine.expressions import BinaryOp, Literal
 from repro.engine.sql import parse
 from repro.errors import SqlSyntaxError
 

@@ -10,7 +10,6 @@ gathered candidates, i.e. the two-launch structure of a real reduction.
 import numpy as np
 import pytest
 
-from repro.bitonic.simt_kernels import block_topk_kernel
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.simt import ThreadBlock
 

@@ -1,0 +1,132 @@
+"""Metrics accumulation, including across trace extend/scaled/merge."""
+
+import pytest
+
+from repro.gpu.counters import ExecutionTrace
+from repro.gpu.device import get_device
+from repro.observability import MetricsRegistry
+from repro.observability.instrument import kernel_family, record_trace
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(2.5)
+        assert registry.value("events") == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("events").inc(-1)
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", algorithm="bitonic").inc()
+        registry.counter("runs", algorithm="radix-select").inc(3)
+        assert registry.value("runs", algorithm="bitonic") == 1
+        assert registry.value("runs", algorithm="radix-select") == 3
+        assert registry.value("runs") is None
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("occupancy").set(0.5)
+        registry.gauge("occupancy").set(0.75)
+        assert registry.value("occupancy") == 0.75
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_ms")
+        for value in [1.0, 2.0, 3.0]:
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_histogram_nonpositive_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("deltas")
+        histogram.observe(0.0)
+        histogram.observe(-5.0)
+        assert histogram.buckets == {-1025: 2}
+
+    def test_snapshot_is_sorted_and_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", x="1").inc()
+        registry.histogram("c").observe(2.0)
+        names = [record["name"] for record in registry.snapshot()]
+        assert names == sorted(names)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestTraceAccumulation:
+    def _trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        kernel = trace.launch("sort-1")
+        kernel.add_global_read(1024.0)
+        kernel.add_shared(256.0, conflict_factor=2.0)
+        return trace
+
+    def test_record_trace_publishes_per_kernel_metrics(self):
+        registry = MetricsRegistry()
+        device = get_device()
+        from repro.observability import observe
+
+        with observe(metrics=registry):
+            total_ms = record_trace(self._trace(), device)
+        assert total_ms > 0
+        assert registry.value("gpu.kernel_launches", kernel="sort") == 1
+        assert registry.value("gpu.global_bytes") == pytest.approx(1024.0)
+        assert registry.value("gpu.shared_bytes") == pytest.approx(256.0)
+        assert registry.value("gpu.shared_bytes_weighted") == pytest.approx(512.0)
+        assert registry.value("gpu.simulated_ms_total") == pytest.approx(total_ms)
+
+    def test_metrics_accumulate_across_extended_trace(self):
+        """extend() concatenates launches; metrics see each exactly once."""
+        registry = MetricsRegistry()
+        device = get_device()
+        combined = self._trace()
+        combined.extend(self._trace())
+        from repro.observability import observe
+
+        with observe(metrics=registry):
+            record_trace(combined, device)
+        assert registry.value("gpu.kernel_launches", kernel="sort") == 2
+        assert registry.value("gpu.global_bytes") == pytest.approx(2048.0)
+
+    def test_metrics_scale_with_scaled_trace(self):
+        """scaled() multiplies traffic but not the launch count."""
+        registry = MetricsRegistry()
+        device = get_device()
+        scaled = self._trace().scaled(8)
+        from repro.observability import observe
+
+        with observe(metrics=registry):
+            record_trace(scaled, device)
+        assert registry.value("gpu.kernel_launches", kernel="sort") == 1
+        assert registry.value("gpu.global_bytes") == pytest.approx(8 * 1024.0)
+
+    def test_merged_kernel_counts_once(self):
+        """KernelCounters.merge folds launches together pre-recording."""
+        registry = MetricsRegistry()
+        device = get_device()
+        trace = self._trace()
+        other = self._trace()
+        trace.kernels[0].merge(other.kernels[0])
+        from repro.observability import observe
+
+        with observe(metrics=registry):
+            record_trace(trace, device)
+        assert registry.value("gpu.kernel_launches", kernel="sort") == 1
+        assert registry.value("gpu.global_bytes") == pytest.approx(2048.0)
+
+
+def test_kernel_family_strips_pass_suffix():
+    assert kernel_family("select-histogram-3") == "select-histogram"
+    assert kernel_family("merge") == "merge"
+    assert kernel_family("BitonicReducer-12") == "BitonicReducer"

@@ -1,6 +1,5 @@
 """Tests for the top-level command line."""
 
-import pytest
 
 from repro.cli import main
 
