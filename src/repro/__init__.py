@@ -26,6 +26,9 @@ Package map
   operators (the MapD integration study).
 * :mod:`repro.data` — workload generators.
 * :mod:`repro.bench` — the benchmark harness regenerating every figure.
+* :mod:`repro.resilience` — fault-tolerant execution (retries, fallback
+  chains, result verification, the chaos suite) over the deterministic
+  fault injector in :mod:`repro.gpu.faults`.
 """
 
 from repro.algorithms.base import TopKResult, reference_topk
@@ -37,13 +40,24 @@ from repro.core.topk import bottomk, topk
 from repro.hybrid.adaptive import AdaptiveTopK
 from repro.hybrid.cpu_gpu import HybridTopK
 from repro.errors import (
+    DeviceLostError,
+    FaultError,
     InvalidParameterError,
+    KernelTimeoutError,
+    MemoryCorruptionError,
     ReproError,
     ResourceExhaustedError,
     SimulationError,
+    TransferError,
     UnsupportedQueryError,
 )
 from repro.gpu.device import DeviceSpec, get_device, list_devices
+from repro.gpu.faults import FaultInjector, FaultPlan, inject
+from repro.resilience import (
+    ResilientExecutor,
+    RetryPolicy,
+    resilient_topk,
+)
 
 __version__ = "1.0.0"
 
@@ -60,13 +74,24 @@ __all__ = [
     "topk_where",
     "AdaptiveTopK",
     "HybridTopK",
+    "DeviceLostError",
+    "FaultError",
     "InvalidParameterError",
+    "KernelTimeoutError",
+    "MemoryCorruptionError",
     "ReproError",
     "ResourceExhaustedError",
     "SimulationError",
+    "TransferError",
     "UnsupportedQueryError",
     "DeviceSpec",
     "get_device",
     "list_devices",
+    "FaultInjector",
+    "FaultPlan",
+    "inject",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "resilient_topk",
     "__version__",
 ]

@@ -61,11 +61,21 @@ class TopKResult:
 
 
 def validate_topk_args(data: np.ndarray, k: int) -> None:
-    """Shared argument validation for all algorithms."""
+    """Shared argument validation for all algorithms.
+
+    Enforced uniformly at every entry point (``topk``, the engine, the
+    hybrid schedulers) so invalid configurations always raise
+    :class:`InvalidParameterError` rather than a bare numpy ``TypeError``
+    or ``IndexError`` from deep inside an algorithm.
+    """
     if data.ndim != 1:
         raise InvalidParameterError("top-k expects a one-dimensional array")
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise InvalidParameterError(
+            f"k must be an integer, got {type(k).__name__}"
+        )
     if k <= 0:
-        raise InvalidParameterError("k must be positive")
+        raise InvalidParameterError(f"k must be at least 1, got {k}")
     if k > len(data):
         raise InvalidParameterError(
             f"k = {k} exceeds the input size n = {len(data)}"

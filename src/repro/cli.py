@@ -12,11 +12,17 @@ Examples::
     python -m repro trace "SELECT id FROM tweets ORDER BY likes DESC \\
         LIMIT 50" --rows 262144
     python -m repro profile --n 1048576 --k 32
+    python -m repro chaos --seed 0 --trials 50
+
+Every command reports failures as one-line typed errors on stderr, with a
+distinct exit code per :class:`~repro.errors.ReproError` subclass (see
+``repro.errors.EXIT_CODES``).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 import numpy as np
 
@@ -26,6 +32,7 @@ from repro.core.planner import TopKPlanner
 from repro.core.topk import topk
 from repro.costmodel.base import PROFILES, get_profile
 from repro.data.distributions import generate, list_distributions
+from repro.errors import InvalidParameterError, ReproError, exit_code
 from repro.gpu.device import get_device, list_devices
 
 _DTYPES = {
@@ -122,6 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=["chrome", "jsonl"],
                 help="chrome://tracing JSON or JSON-lines",
             )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the fault-injection chaos suite and report survival",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--trials", type=int, default=50)
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
     return parser
 
 
@@ -237,19 +255,44 @@ def _command_profile(arguments) -> int:
     return 0
 
 
+def _command_chaos(arguments) -> int:
+    from repro.resilience.chaos import run_campaign
+
+    if arguments.trials < 1:
+        raise InvalidParameterError(
+            f"--trials must be at least 1, got {arguments.trials}"
+        )
+    report = run_campaign(seed=arguments.seed, trials=arguments.trials)
+    if arguments.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.survived else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    if arguments.command == "topk":
-        return _command_topk(arguments)
-    if arguments.command == "plan":
-        return _command_plan(arguments)
-    if arguments.command == "explain":
-        return _command_explain(arguments)
-    if arguments.command == "trace":
-        return _command_trace(arguments)
-    if arguments.command == "profile":
-        return _command_profile(arguments)
+    try:
+        if arguments.command == "topk":
+            return _command_topk(arguments)
+        if arguments.command == "plan":
+            return _command_plan(arguments)
+        if arguments.command == "explain":
+            return _command_explain(arguments)
+        if arguments.command == "trace":
+            return _command_trace(arguments)
+        if arguments.command == "profile":
+            return _command_profile(arguments)
+        if arguments.command == "chaos":
+            return _command_chaos(arguments)
+    except ReproError as error:
+        # One-line typed diagnostics; each error class has its own exit
+        # code so scripts can dispatch on the failure mode.
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_code(error)
     parser.print_help()
     return 2
 

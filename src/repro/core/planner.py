@@ -21,7 +21,7 @@ from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
 from repro.costmodel.bitonic_model import BitonicModel
 from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
 
 
@@ -32,10 +32,18 @@ class PlanChoice:
     algorithm: str
     predicted_seconds: float
     candidates: tuple[tuple[str, float], ...]
+    #: Candidates discarded because they are infeasible for this
+    #: configuration (the per-thread heap past its shared-memory limit).
+    infeasible: tuple[str, ...] = ()
 
     @property
     def predicted_ms(self) -> float:
         return self.predicted_seconds * 1e3
+
+    def fallback_chain(self) -> list[str]:
+        """Every feasible algorithm, cheapest first — the order a resilient
+        executor degrades through when the winner's device fails."""
+        return [name for name, _ in self.candidates]
 
 
 class TopKPlanner:
@@ -73,11 +81,25 @@ class TopKPlanner:
             profile=profile.name,
         ) as span:
             ranking: list[tuple[str, float]] = []
+            infeasible: list[str] = []
             for model in self.models:
                 if not model.supports(n, k, dtype):
+                    infeasible.append(model.algorithm)
                     continue
-                ranking.append(
-                    (model.algorithm, model.predict_seconds(n, k, dtype, profile))
+                try:
+                    predicted = model.predict_seconds(n, k, dtype, profile)
+                except ResourceExhaustedError:
+                    # A model that claims support but hits a hard resource
+                    # limit while costing the configuration (the per-thread
+                    # heap's occupancy calculation at large k) is simply
+                    # not a candidate — skip it, don't surface the error.
+                    infeasible.append(model.algorithm)
+                    continue
+                ranking.append((model.algorithm, predicted))
+            if not ranking:
+                raise ResourceExhaustedError(
+                    f"no algorithm can run n = {n}, k = {k} ({dtype}) on "
+                    f"{self.device.name}; infeasible: {', '.join(infeasible)}"
                 )
             ranking.sort(key=lambda item: item[1])
             best_name, best_time = ranking[0]
@@ -96,6 +118,7 @@ class TopKPlanner:
             algorithm=best_name,
             predicted_seconds=best_time,
             candidates=tuple(ranking),
+            infeasible=tuple(infeasible),
         )
 
     def crossover_k(

@@ -20,7 +20,7 @@ from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.algorithms.registry import create
 from repro.core.planner import TopKPlanner
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
 
 
@@ -87,14 +87,30 @@ def topk(
     ) as span:
         if algorithm == "auto":
             choice = TopKPlanner(device).choose(len(values), k, values.dtype, profile)
-            algorithm = choice.algorithm
-        implementation = create(algorithm, device)
-
-        if largest:
-            result = implementation.run(values, k, model_n=model_n)
+            candidates = choice.fallback_chain()
         else:
-            reversed_keys = _order_reversed(values)
-            result = implementation.run(reversed_keys, k, model_n=model_n)
+            candidates = [algorithm]
+
+        keys = values if largest else _order_reversed(values)
+        result = None
+        for position, name in enumerate(candidates):
+            try:
+                result = create(name, device).run(keys, k, model_n=model_n)
+                break
+            except ResourceExhaustedError:
+                # The cost model predicted this candidate would fit but the
+                # implementation hit a hard resource limit: with "auto" the
+                # candidate is simply infeasible, so degrade to the next
+                # one; an explicitly requested algorithm surfaces the error.
+                if position == len(candidates) - 1:
+                    raise
+                registry = obs.active_metrics()
+                if registry is not None:
+                    registry.counter(
+                        "planner.runtime_infeasible", algorithm=name
+                    ).inc()
+        assert result is not None
+        if not largest:
             # Map the reversed-key results back to the original values.
             result.values = values[result.indices].copy()
         span.set(algorithm=result.algorithm)

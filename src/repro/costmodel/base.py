@@ -87,11 +87,35 @@ def get_profile(name: str) -> WorkloadProfile:
         ) from None
 
 
+def _prediction_only(predict):
+    """Wrap ``predict_seconds`` so building prediction traces never trips a
+    fault-injection site: predictions are host-side math, not device work."""
+    import functools
+
+    from repro.gpu import faults
+
+    @functools.wraps(predict)
+    def wrapper(self, *args, **kwargs):
+        with faults.suspended():
+            return predict(self, *args, **kwargs)
+
+    wrapper.__repro_prediction_only__ = True
+    return wrapper
+
+
 class CostModel(abc.ABC):
     """Predicts the runtime of one algorithm family."""
 
     #: Must match the algorithm registry name it models.
     algorithm: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        predict = cls.__dict__.get("predict_seconds")
+        if predict is not None and not getattr(
+            predict, "__repro_prediction_only__", False
+        ):
+            cls.predict_seconds = _prediction_only(predict)
 
     def __init__(self, device: DeviceSpec | None = None):
         self.device = device or get_device()

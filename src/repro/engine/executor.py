@@ -29,9 +29,15 @@ from repro import observability as obs
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.optimizations import FULL, OptimizationFlags
 from repro.bitonic.topk import BitonicTopK
+from repro.algorithms.base import reference_topk
 from repro.engine.sql import Query, parse
 from repro.engine.table import Table
-from repro.errors import UnsupportedQueryError
+from repro.errors import (
+    FaultError,
+    InvalidParameterError,
+    UnsupportedQueryError,
+)
+from repro.gpu import faults
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import TraceTime, trace_time
@@ -39,6 +45,10 @@ from repro.gpu.timing import TraceTime, trace_time
 #: Key + row-id bytes moved per materialized candidate row (4-byte rank
 #: value and 4-byte id, the (key, id) layout Section 6.6 recommends).
 CANDIDATE_ROW_BYTES = 8
+
+#: Bounded retries of the engine's internal top-k selection on an
+#: injected device fault before it falls back to the CPU oracle.
+FUNCTIONAL_RETRIES = 2
 
 STRATEGIES = ("sort", "topk", "fused")
 
@@ -72,10 +82,16 @@ class QueryExecutor:
         table: Table,
         device: DeviceSpec | None = None,
         flags: OptimizationFlags = FULL,
+        fault_retries: int = FUNCTIONAL_RETRIES,
     ):
+        if fault_retries < 0:
+            raise InvalidParameterError(
+                f"fault_retries must be non-negative, got {fault_retries}"
+            )
         self.table = table
         self.device = device or get_device()
         self.flags = flags
+        self.fault_retries = fault_retries
 
     def sql(
         self,
@@ -100,6 +116,14 @@ class QueryExecutor:
             raise UnsupportedQueryError(
                 f"query targets table {query.table!r} but executor holds "
                 f"{self.table.name!r}"
+            )
+        if query.limit is not None and query.limit < 0:
+            raise InvalidParameterError(
+                f"LIMIT must be non-negative, got {query.limit}"
+            )
+        if model_rows is not None and model_rows <= 0:
+            raise InvalidParameterError(
+                f"model_rows must be positive, got {model_rows}"
             )
         model = model_rows or len(self.table)
         with obs.span(
@@ -140,14 +164,15 @@ class QueryExecutor:
         if query.limit is not None:
             indices = indices[: query.limit]
         columns = self._project(query, indices)
-        trace = ExecutionTrace()
-        scan = trace.launch("scan-filter")
-        width = self._scan_width(query)
-        scan.add_global_read(float(model_rows) * width)
-        selectivity = len(indices) / max(1, len(self.table))
-        scan.add_global_write(
-            float(model_rows) * selectivity * self.table.row_bytes()
-        )
+        with faults.suspended():
+            trace = ExecutionTrace()
+            scan = trace.launch("scan-filter")
+            width = self._scan_width(query)
+            scan.add_global_read(float(model_rows) * width)
+            selectivity = len(indices) / max(1, len(self.table))
+            scan.add_global_write(
+                float(model_rows) * selectivity * self.table.row_bytes()
+            )
         return QueryResult(
             columns, trace, "scan", self.device, len(self.table), len(indices)
         )
@@ -168,16 +193,9 @@ class QueryExecutor:
             if not keys[0][1]:
                 ranks = -ranks
             candidate_ranks = ranks[mask].astype(np.float32)
-            # The functional selection is an implementation detail, not a
-            # modeled kernel; its launches are re-accounted by the query's
-            # own trace, so keep them out of the observed execution.
-            with obs.span(
-                "phase:functional-topk",
-                category="phase",
-                candidates=len(candidate_rows),
-            ), obs.suspended():
-                top = BitonicTopK(self.device, self.flags).run(candidate_ranks, k)
-            result_rows = candidate_rows[top.indices]
+            result_rows = candidate_rows[
+                self._functional_topk(candidate_ranks, k)
+            ]
         else:
             # Multi-key lexicographic order (the KKV kernel of Section
             # 6.6); functional selection via a stable multi-key sort.
@@ -191,7 +209,12 @@ class QueryExecutor:
 
         selectivity = len(candidate_rows) / max(1, len(self.table))
         matched_model = max(1, int(round(model_rows * selectivity)))
-        trace = self._topk_trace(query, strategy, model_rows, matched_model, k)
+        # Trace construction is accounting, not device activity; the
+        # query's injectable execution is the functional selection above.
+        with faults.suspended():
+            trace = self._topk_trace(
+                query, strategy, model_rows, matched_model, k
+            )
         return QueryResult(
             columns, trace, strategy, self.device, len(self.table), len(result_rows)
         )
@@ -288,13 +311,7 @@ class QueryExecutor:
             if not query.order_desc:
                 rank = -rank
             k = min(query.limit, len(groups))
-            with obs.span(
-                "phase:functional-topk", category="phase", candidates=len(groups)
-            ), obs.suspended():
-                top = BitonicTopK(self.device, self.flags).run(
-                    rank.astype(np.float64), k
-                )
-            order = top.indices
+            order = self._functional_topk(rank.astype(np.float64), k)
         else:
             order = np.argsort(counts)[::-1]
         result = {group_column: groups[order]}
@@ -304,35 +321,76 @@ class QueryExecutor:
         model_groups = max(
             1, int(round(len(groups) * model_rows / max(1, len(self.table))))
         )
-        trace = ExecutionTrace()
-        aggregate = trace.launch("hash-aggregate")
-        aggregate.add_global_read(
-            float(model_rows) * self.table.column(group_column).dtype.itemsize
-        )
-        aggregate.atomic_ops = float(model_rows)
-        aggregate.add_global_write(float(model_groups) * CANDIDATE_ROW_BYTES)
-        if query.limit is not None:
-            if strategy in ("topk", "fused"):
-                trace.extend(
-                    build_trace(
-                        model_groups,
-                        1 << max(0, (max(query.limit, 1) - 1).bit_length()),
-                        CANDIDATE_ROW_BYTES,
-                        self.flags,
-                        self.device,
+        with faults.suspended():
+            trace = ExecutionTrace()
+            aggregate = trace.launch("hash-aggregate")
+            aggregate.add_global_read(
+                float(model_rows)
+                * self.table.column(group_column).dtype.itemsize
+            )
+            aggregate.atomic_ops = float(model_rows)
+            aggregate.add_global_write(
+                float(model_groups) * CANDIDATE_ROW_BYTES
+            )
+            if query.limit is not None:
+                if strategy in ("topk", "fused"):
+                    trace.extend(
+                        build_trace(
+                            model_groups,
+                            1
+                            << max(0, (max(query.limit, 1) - 1).bit_length()),
+                            CANDIDATE_ROW_BYTES,
+                            self.flags,
+                            self.device,
+                        )
                     )
-                )
-            else:
-                group_bytes = float(model_groups) * CANDIDATE_ROW_BYTES
-                for pass_index in range(4):
-                    kernel = trace.launch(f"sort-pass-{pass_index}")
-                    kernel.add_global_read(2.0 * group_bytes)
-                    kernel.add_global_write(group_bytes)
+                else:
+                    group_bytes = float(model_groups) * CANDIDATE_ROW_BYTES
+                    for pass_index in range(4):
+                        kernel = trace.launch(f"sort-pass-{pass_index}")
+                        kernel.add_global_read(2.0 * group_bytes)
+                        kernel.add_global_write(group_bytes)
         return QueryResult(
             result, trace, strategy, self.device, len(self.table), len(order)
         )
 
     # -- helpers ---------------------------------------------------------
+
+    def _functional_topk(self, ranks: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the top-k ranks, surviving injected device faults.
+
+        The functional selection is an implementation detail, not a
+        modeled kernel; its launches are re-accounted by the query's own
+        trace, so observation is suspended around it.  An injected fault
+        is retried a bounded number of times, then the CPU oracle — which
+        has no device to lose — finishes the query instead of failing it.
+        """
+        retries = 0
+        fell_back = False
+        indices: np.ndarray | None = None
+        with obs.span(
+            "phase:functional-topk", category="phase", candidates=len(ranks)
+        ):
+            with obs.suspended():
+                for attempt in range(self.fault_retries + 1):
+                    try:
+                        indices = BitonicTopK(self.device, self.flags).run(
+                            ranks, k
+                        ).indices
+                        break
+                    except FaultError:
+                        retries += 1
+                if indices is None:
+                    fell_back = True
+                    with faults.suspended():
+                        _, indices = reference_topk(ranks, k)
+        registry = obs.active_metrics()
+        if registry is not None:
+            if retries:
+                registry.counter("engine.fault_retries").inc(retries)
+            if fell_back:
+                registry.counter("engine.cpu_fallbacks").inc()
+        return indices
 
     def _aggregate(
         self,

@@ -15,7 +15,11 @@ from contextlib import nullcontext
 
 from repro import observability as obs
 from repro.bitonic.optimizations import FULL, OptimizationFlags
-from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.executor import (
+    FUNCTIONAL_RETRIES,
+    QueryExecutor,
+    QueryResult,
+)
 from repro.engine.sql import parse
 from repro.engine.table import Table
 from repro.errors import UnsupportedQueryError
@@ -44,9 +48,11 @@ class Session:
         device: DeviceSpec | None = None,
         flags: OptimizationFlags = FULL,
         trace: bool = False,
+        fault_retries: int = FUNCTIONAL_RETRIES,
     ):
         self.device = device or get_device()
         self.flags = flags
+        self.fault_retries = fault_retries
         self._tables: dict[str, Table] = {}
         self.observation: obs.Observation | None = (
             obs.Observation(obs.Tracer(), obs.MetricsRegistry()) if trace else None
@@ -95,7 +101,12 @@ class Session:
         """
         with self._observed():
             query = parse(text)
-            executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+            executor = QueryExecutor(
+                self.table(query.table),
+                self.device,
+                self.flags,
+                fault_retries=self.fault_retries,
+            )
             return executor.execute(query, strategy, model_rows)
 
     def explain(self, text: str, model_rows: int | None = None):
@@ -105,5 +116,10 @@ class Session:
 
         with self._observed():
             query = parse(text)
-            executor = QueryExecutor(self.table(query.table), self.device, self.flags)
+            executor = QueryExecutor(
+                self.table(query.table),
+                self.device,
+                self.flags,
+                fault_retries=self.fault_retries,
+            )
             return explain_query(executor, text, model_rows)

@@ -182,7 +182,17 @@ def parse(sql: str) -> Query:
             while tokens.accept(","):
                 order_by_keys.append(_parse_order_key(tokens))
         elif keyword == "limit":
-            limit = int(tokens.next())
+            # "-1" tokenizes as "-", "1"; reassemble so the executor can
+            # reject negative limits with a typed InvalidParameterError
+            # instead of this parser leaking a bare ValueError.
+            sign = -1 if tokens.accept("-") else 1
+            token = tokens.next()
+            try:
+                limit = sign * int(token)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"LIMIT expects an integer, got {token!r}"
+                ) from None
         else:
             raise SqlSyntaxError(f"unexpected token {keyword!r}")
     first_key = order_by_keys[0] if order_by_keys else (None, False)

@@ -39,3 +39,63 @@ class SimulationError(ReproError, RuntimeError):
     Examples: out-of-bounds shared memory access, missing barrier before a
     cross-thread read, or a barrier reached by only part of a thread block.
     """
+
+
+class FaultError(ReproError, RuntimeError):
+    """A simulated hardware fault (base class for the fault-injection layer).
+
+    Faults are *transient* failures of the modeled device — the kind a
+    production system must survive through retries and fallbacks, unlike
+    :class:`InvalidParameterError` (caller bugs) or
+    :class:`ResourceExhaustedError` (hard capacity limits).  ``site``
+    names the injection point ("kernel-launch", "pcie-transfer", ...).
+    """
+
+    def __init__(self, message: str, site: str = "", detail: str = ""):
+        super().__init__(message)
+        self.site = site
+        self.detail = detail
+
+
+class DeviceLostError(FaultError):
+    """The simulated device dropped off the bus (kernel launch failed)."""
+
+
+class MemoryCorruptionError(FaultError):
+    """A memory read returned corrupted data (simulated bit flip / ECC)."""
+
+
+class KernelTimeoutError(FaultError):
+    """A kernel exceeded the simulated watchdog limit and was killed."""
+
+
+class TransferError(FaultError):
+    """A PCIe staging transfer (host <-> device) failed."""
+
+
+#: Distinct process exit codes per error class, used by the CLI so scripts
+#: can tell failure modes apart.  Codes start at 3: argparse owns 2, and 1
+#: is the generic "command reported failure" status.
+EXIT_CODES: dict[type, int] = {
+    InvalidParameterError: 3,
+    SqlSyntaxError: 4,
+    UnsupportedQueryError: 5,
+    ResourceExhaustedError: 6,
+    SimulationError: 7,
+    DeviceLostError: 8,
+    MemoryCorruptionError: 9,
+    KernelTimeoutError: 10,
+    TransferError: 11,
+    FaultError: 12,
+}
+
+#: Fallback exit code for a ReproError subclass not listed above.
+GENERIC_ERROR_EXIT_CODE = 13
+
+
+def exit_code(error: ReproError) -> int:
+    """The CLI exit code for ``error`` (most specific class wins)."""
+    for cls in type(error).__mro__:
+        if cls in EXIT_CODES:
+            return EXIT_CODES[cls]
+    return GENERIC_ERROR_EXIT_CODE

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.gpu.faults import fault_point
+
 
 @dataclass
 class KernelCounters:
@@ -116,7 +118,15 @@ class ExecutionTrace:
     notes: dict[str, float] = field(default_factory=dict)
 
     def launch(self, name: str) -> KernelCounters:
-        """Start a new kernel and return its counter object."""
+        """Start a new kernel and return its counter object.
+
+        Every simulated kernel launch passes through here, which makes it
+        the canonical ``"kernel-launch"`` fault-injection site: an
+        installed :class:`~repro.gpu.faults.FaultInjector` may raise a
+        typed :class:`~repro.errors.DeviceLostError` (or another planned
+        fault) instead of returning counters.
+        """
+        fault_point("kernel-launch", name)
         counters = KernelCounters(name=name)
         self.kernels.append(counters)
         return counters

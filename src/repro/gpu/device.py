@@ -73,6 +73,11 @@ class DeviceSpec:
     #: Fraction of peak shared bandwidth real kernels achieve.  Section 7
     #: reports the SortReducer at 2.5 TB/s against the 2.9 TB/s peak.
     shared_efficiency: float = 0.862
+    #: Simulated display-watchdog limit in seconds: a single kernel whose
+    #: modeled time exceeds it is killed with KernelTimeoutError by the
+    #: timing model (None — the default — disables the watchdog, keeping
+    #: pre-existing behaviour byte-identical).
+    watchdog_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.global_bandwidth <= 0 or self.shared_bandwidth <= 0:

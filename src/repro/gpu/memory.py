@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.gpu.banks import warp_conflict_factor
 from repro.gpu.coalescing import warp_transactions
+from repro.gpu.faults import filter_read
 
 
 @dataclass
@@ -85,7 +86,9 @@ class SharedMemory:
         self._check(address)
         self._record(thread, address)
         self.stats.reads += 1
-        return self._data[address]
+        # Fault-injection site: a silent corruption plan flips a bit in the
+        # returned value; a raising plan surfaces MemoryCorruptionError.
+        return filter_read("shared-memory-read", self._data[address])
 
     def write(self, thread: int, address: int, value: float) -> None:
         self._check(address)
@@ -141,7 +144,8 @@ class GlobalMemory:
         self._check(address)
         self._record(thread, address)
         self.stats.reads += 1
-        return self._data[address]
+        # Fault-injection site, mirroring SharedMemory.read.
+        return filter_read("global-memory-read", self._data[address])
 
     def write(self, thread: int, address: int, value: float) -> None:
         self._check(address)

@@ -35,7 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generator
 
-from repro.errors import SimulationError
+from repro.errors import KernelTimeoutError, SimulationError
+from repro.gpu.faults import fault_point
 from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.observability import active_metrics, span as obs_span
 
@@ -88,14 +89,21 @@ class ThreadBlock:
         global_memory: GlobalMemory | None = None,
         num_banks: int = 32,
         warp_size: int = 32,
+        watchdog_steps: int | None = None,
     ):
         if num_threads <= 0:
             raise SimulationError("a thread block needs at least one thread")
+        if watchdog_steps is not None and watchdog_steps < 1:
+            raise SimulationError("watchdog_steps must be at least 1")
         self.num_threads = num_threads
         self.warp_size = warp_size
         self.shared = SharedMemory(shared_words, num_banks, warp_size)
         self.global_memory = global_memory
         self.barriers_executed = 0
+        #: Simulated watchdog: a kernel exceeding this many lockstep steps
+        #: (barrier epochs) is killed with KernelTimeoutError, the way a
+        #: display watchdog kills a runaway kernel.  None disables it.
+        self.watchdog_steps = watchdog_steps
 
     def __len__(self) -> int:
         return self.num_threads
@@ -132,6 +140,18 @@ class ThreadBlock:
                     )
                 if waiting:
                     self.barriers_executed += 1
+                    # Simulated watchdog on SIMT step counts, plus a
+                    # per-barrier fault-injection site.
+                    fault_point("simt-barrier")
+                    if (
+                        self.watchdog_steps is not None
+                        and self.barriers_executed > self.watchdog_steps
+                    ):
+                        raise KernelTimeoutError(
+                            f"kernel exceeded the simulated watchdog limit of "
+                            f"{self.watchdog_steps} steps",
+                            site="simt-barrier",
+                        )
                 live = waiting
             block_span.set(barriers=self.barriers_executed)
             registry = active_metrics()
@@ -154,6 +174,7 @@ def run_grid(
     threads_per_block: int,
     global_memory: GlobalMemory,
     shared_words: int = 0,
+    watchdog_steps: int | None = None,
 ) -> list[ThreadBlock]:
     """Run a grid of blocks sequentially (blocks are independent on a GPU).
 
@@ -172,6 +193,7 @@ def run_grid(
                 threads_per_block,
                 shared_words=shared_words,
                 global_memory=global_memory,
+                watchdog_steps=watchdog_steps,
             )
             block.run(kernel_factory(block_id))
             blocks.append(block)

@@ -25,10 +25,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import KernelTimeoutError
 from repro.gpu.counters import ExecutionTrace, KernelCounters
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import bandwidth_derating
 from repro.observability import active_metrics
+
+#: Kernel name the resilient executor uses for retry-backoff accounting;
+#: exempt from the watchdog (it is idle time, not a running kernel).
+BACKOFF_KERNEL = "resilience-backoff"
 
 
 @dataclass(frozen=True)
@@ -75,7 +80,7 @@ def kernel_time(counters: KernelCounters, device: DeviceSpec) -> KernelTime:
     compute_time = ops / (device.total_cores * device.clock_hz)
     atomic_time = counters.atomic_ops * device.atomic_op_cost / device.num_sms
     launch = 0.0 if counters.fixed_seconds else device.kernel_launch_overhead
-    return KernelTime(
+    timing = KernelTime(
         name=counters.name,
         global_time=global_time,
         shared_time=shared_time,
@@ -84,6 +89,19 @@ def kernel_time(counters: KernelCounters, device: DeviceSpec) -> KernelTime:
         launch_overhead=launch,
         fixed_time=counters.fixed_seconds,
     )
+    if (
+        device.watchdog_seconds is not None
+        and counters.name != BACKOFF_KERNEL
+        and timing.total > device.watchdog_seconds
+    ):
+        raise KernelTimeoutError(
+            f"kernel {counters.name!r} would run {timing.total * 1e3:.3f} ms, "
+            f"past the {device.watchdog_seconds * 1e3:.3f} ms watchdog limit "
+            f"of {device.name}",
+            site="timing-watchdog",
+            detail=counters.name,
+        )
+    return timing
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from repro.algorithms.radix_sort import DIGIT_BITS
 from repro.algorithms.registry import create
 from repro.core.planner import PlanChoice, TopKPlanner
 from repro.costmodel.base import WorkloadProfile
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
 
 
@@ -145,13 +145,31 @@ class AdaptiveTopK:
             "adaptive", category="scheduler", n=len(data), k=k
         ) as span:
             choice = self.choose(data, k, model_n)
-            algorithm = create(choice.algorithm, self.device)
-            result = algorithm.run(data, k, model_n=model_n)
-            span.set(algorithm=choice.algorithm)
+            candidates = choice.fallback_chain()
+            result = None
+            for position, name in enumerate(candidates):
+                try:
+                    result = create(name, self.device).run(
+                        data, k, model_n=model_n
+                    )
+                    break
+                except ResourceExhaustedError:
+                    # The sampled profile predicted this candidate would
+                    # fit but a hard resource limit disagreed at runtime:
+                    # treat it as infeasible and take the next-cheapest.
+                    if position == len(candidates) - 1:
+                        raise
+                    registry = obs.active_metrics()
+                    if registry is not None:
+                        registry.counter(
+                            "planner.runtime_infeasible", algorithm=name
+                        ).inc()
+            assert result is not None
+            span.set(algorithm=result.algorithm)
             registry = obs.active_metrics()
             if registry is not None:
                 registry.counter(
-                    "adaptive.decisions", algorithm=choice.algorithm
+                    "adaptive.decisions", algorithm=result.algorithm
                 ).inc()
         result.trace.notes["adaptive_choice"] = 1.0
         return result

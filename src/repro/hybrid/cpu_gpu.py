@@ -27,7 +27,8 @@ from repro.bitonic.topk import BitonicTopK
 from repro.costmodel.bitonic_model import BitonicModel
 from repro.cpu.pq_topk import HandPqTopK
 from repro.cpu.spec import I7_6900, CpuSpec
-from repro.errors import InvalidParameterError
+from repro.errors import FaultError, InvalidParameterError
+from repro.gpu import faults
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
 
@@ -101,14 +102,29 @@ class HybridTopK:
             # The inner runs execute functionally; their kernels are
             # re-accounted by this scheduler's own concurrent/reduce trace,
             # so suspend observation to avoid double-counting them.
+            gpu_lost = False
             with obs.suspended():
                 if boundary >= 1:
                     gpu_k = min(k, boundary)
-                    parts.append(self._gpu_algorithm.run(data[:boundary], gpu_k))
-                    offsets.append(0)
+                    try:
+                        faults.fault_point("device-launch", "hybrid-gpu-side")
+                        parts.append(
+                            self._gpu_algorithm.run(data[:boundary], gpu_k)
+                        )
+                        offsets.append(0)
+                    except FaultError:
+                        # GPU side lost mid-run: the CPU absorbs the whole
+                        # input instead of just its share.  Slower — the
+                        # trace accounting below charges the CPU-only cost
+                        # — but the answer stays exact.
+                        gpu_lost = True
+                        boundary = 0
                 if n - boundary >= 1:
                     cpu_k = min(k, n - boundary)
-                    parts.append(self._cpu_algorithm.run(data[boundary:], cpu_k))
+                    with faults.suspended():
+                        parts.append(
+                            self._cpu_algorithm.run(data[boundary:], cpu_k)
+                        )
                     offsets.append(boundary)
 
             values = np.concatenate([part.values for part in parts])
@@ -119,12 +135,29 @@ class HybridTopK:
 
             trace = ExecutionTrace()
             concurrent = trace.launch("hybrid-concurrent")
-            concurrent.fixed_seconds = split.makespan
+            if gpu_lost:
+                # The CPU redid the entire input after the GPU died; charge
+                # the CPU-only scan cost on top of the wasted GPU share.
+                cpu_per_element = (
+                    data.dtype.itemsize / self.cpu.memory_bandwidth
+                )
+                concurrent.fixed_seconds = (
+                    split.gpu_seconds + model * cpu_per_element
+                )
+            else:
+                concurrent.fixed_seconds = split.makespan
             reduce = trace.launch("hybrid-reduce")
             reduce.add_global_read(float(2 * k) * data.dtype.itemsize)
             trace.notes["gpu_fraction"] = split.gpu_fraction
             trace.notes["gpu_seconds"] = split.gpu_seconds
             trace.notes["cpu_seconds"] = split.cpu_seconds
+            trace.notes["gpu_lost"] = float(gpu_lost)
+            if gpu_lost:
+                registry = obs.active_metrics()
+                if registry is not None:
+                    registry.counter(
+                        "resilience.devices_lost", scheduler="hybrid-cpu-gpu"
+                    ).inc()
             from repro.observability.instrument import record_trace
 
             span.set(simulated_ms=record_trace(trace, self.device))

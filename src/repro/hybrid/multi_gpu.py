@@ -26,9 +26,16 @@ from repro import observability as obs
 from repro.algorithms.base import TopKResult, validate_topk_args
 from repro.bitonic.topk import BitonicTopK
 from repro.costmodel.bitonic_model import BitonicModel
-from repro.errors import InvalidParameterError
+from repro.errors import DeviceLostError, InvalidParameterError, TransferError
+from repro.gpu import faults
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
+
+#: Bounded retries for a failed PCIe gather before the error surfaces.
+GATHER_RETRIES = 3
+
+#: Simulated backoff before re-issuing a failed gather transfer.
+GATHER_BACKOFF_SECONDS = 1e-3
 
 
 @dataclass(frozen=True)
@@ -99,38 +106,69 @@ class MultiGpuTopK:
             boundaries[-1] = n
             candidate_values: list[np.ndarray] = []
             candidate_rows: list[np.ndarray] = []
+            lost: list[tuple[int, int, int]] = []
+            alive = list(range(len(shares)))
             # Per-device runs execute functionally; their kernels are
             # re-accounted by the scheduler's own concurrent/gather/reduce
             # trace, so suspend observation to avoid double-counting.
             with obs.suspended():
-                for share, start, stop in zip(shares, boundaries, boundaries[1:]):
+                for index, (share, start, stop) in enumerate(
+                    zip(shares, boundaries, boundaries[1:])
+                ):
                     slice_ = data[start:stop]
                     if len(slice_) == 0:
                         continue
                     local_k = min(k, len(slice_))
-                    result = BitonicTopK(share.device).run(slice_, local_k)
+                    try:
+                        faults.fault_point(
+                            "device-launch", f"{share.device.name}#{index}"
+                        )
+                        result = BitonicTopK(share.device).run(slice_, local_k)
+                    except DeviceLostError:
+                        lost.append((index, start, stop))
+                        alive.remove(index)
+                        continue
                     candidate_values.append(result.values)
                     candidate_rows.append(result.indices + start)
+
+            redistributed = 0
+            if lost:
+                redistributed = self._redistribute(
+                    data, k, shares, lost, alive, candidate_values, candidate_rows
+                )
             values = np.concatenate(candidate_values)
             rows = np.concatenate(candidate_rows)
             order = np.argsort(values, kind="stable")[::-1][:k]
 
-            first = self.devices[0]
+            first = self.devices[alive[0]]
             trace = ExecutionTrace()
             concurrent = trace.launch("multi-gpu-concurrent")
             concurrent.fixed_seconds = max(share.seconds for share in shares)
-            gather = trace.launch("multi-gpu-gather")
-            gather_bytes = float(len(self.devices) * k) * data.dtype.itemsize
+            if lost:
+                self._account_redistribution(
+                    trace, data, model, shares, lost, alive, first
+                )
+            gather = self._gather(trace, first)
+            gather_bytes = float(len(candidate_values) * k) * data.dtype.itemsize
             gather.fixed_seconds = gather_bytes / first.pcie_bandwidth
             reduce = trace.launch("multi-gpu-reduce")
             reduce.add_global_read(gather_bytes)
             reduce.add_global_write(float(k) * data.dtype.itemsize)
             trace.notes["devices"] = len(self.devices)
+            trace.notes["devices_lost"] = len(lost)
+            trace.notes["slices_redistributed"] = redistributed
             for index, share in enumerate(shares):
                 trace.notes[f"fraction_{index}"] = share.fraction
             from repro.observability.instrument import record_trace
 
-            span.set(simulated_ms=record_trace(trace, first))
+            span.set(
+                simulated_ms=record_trace(trace, first),
+                devices_lost=len(lost),
+            )
+            if lost:
+                registry = obs.active_metrics()
+                if registry is not None:
+                    registry.counter("resilience.devices_lost").inc(len(lost))
         return TopKResult(
             values=values[order].copy(),
             indices=rows[order].copy(),
@@ -140,3 +178,124 @@ class MultiGpuTopK:
             n=n,
             model_n=model,
         )
+
+    # -- device-loss recovery --------------------------------------------
+
+    def _redistribute(
+        self,
+        data: np.ndarray,
+        k: int,
+        shares: list[DeviceShare],
+        lost: list[tuple[int, int, int]],
+        alive: list[int],
+        candidate_values: list[np.ndarray],
+        candidate_rows: list[np.ndarray],
+    ) -> int:
+        """Re-run every lost device's slice on the survivors.
+
+        Each lost slice is split evenly across the surviving devices; a
+        survivor that dies mid-recovery is dropped and its piece re-queued,
+        so recovery tolerates cascading losses until no device remains —
+        at which point the loss surfaces as a typed DeviceLostError.
+        Returns the number of recovered pieces.
+        """
+        from collections import deque
+
+        if not alive:
+            raise DeviceLostError(
+                f"all {len(shares)} devices lost; nothing left to "
+                f"redistribute the work to",
+                site="device-launch",
+            )
+        pending: deque[tuple[int, int]] = deque()
+        for _, start, stop in lost:
+            bounds = np.linspace(start, stop, len(alive) + 1).astype(int)
+            for piece_start, piece_stop in zip(bounds, bounds[1:]):
+                if piece_stop > piece_start:
+                    pending.append((int(piece_start), int(piece_stop)))
+        processed = 0
+        rotation = 0
+        with obs.suspended():
+            while pending:
+                if not alive:
+                    raise DeviceLostError(
+                        "all devices lost during redistribution",
+                        site="device-launch",
+                    )
+                piece_start, piece_stop = pending.popleft()
+                device_index = alive[rotation % len(alive)]
+                rotation += 1
+                piece = data[piece_start:piece_stop]
+                local_k = min(k, len(piece))
+                device = self.devices[device_index]
+                try:
+                    faults.fault_point(
+                        "device-launch",
+                        f"{device.name}#{device_index}:redistribute",
+                    )
+                    result = BitonicTopK(device).run(piece, local_k)
+                except DeviceLostError:
+                    alive.remove(device_index)
+                    pending.append((piece_start, piece_stop))
+                    continue
+                candidate_values.append(result.values)
+                candidate_rows.append(result.indices + piece_start)
+                processed += 1
+        return processed
+
+    def _account_redistribution(
+        self,
+        trace: ExecutionTrace,
+        data: np.ndarray,
+        model: int,
+        shares: list[DeviceShare],
+        lost: list[tuple[int, int, int]],
+        alive: list[int],
+        first: DeviceSpec,
+    ) -> None:
+        """Charge the recovery cost: re-staging the lost slices over PCIe
+        plus recomputing them, split across the survivors."""
+        lost_elements = sum(shares[index].fraction for index, _, _ in lost) * model
+        lost_bytes = lost_elements * data.dtype.itemsize
+        recompute = 0.0
+        for index in alive:
+            share = shares[index]
+            per_element = share.seconds / max(share.fraction * model, 1.0)
+            recompute = max(
+                recompute, (lost_elements / len(alive)) * per_element
+            )
+        redistribute = trace.launch("multi-gpu-redistribute")
+        redistribute.fixed_seconds = (
+            lost_bytes / first.pcie_bandwidth + recompute
+        )
+
+    def _gather(self, trace: ExecutionTrace, device: DeviceSpec):
+        """Launch the gather kernel, retrying failed PCIe transfers.
+
+        A :class:`TransferError` injected at the ``pcie-transfer`` site is
+        retried up to ``GATHER_RETRIES`` times with exponential backoff in
+        simulated time before it surfaces.
+        """
+        attempt = 0
+        while True:
+            try:
+                faults.fault_point("pcie-transfer", "multi-gpu-gather")
+                return trace.launch("multi-gpu-gather")
+            except TransferError:
+                attempt += 1
+                if attempt > GATHER_RETRIES:
+                    raise
+                from repro.gpu.counters import KernelCounters
+                from repro.gpu.timing import BACKOFF_KERNEL
+
+                backoff = GATHER_BACKOFF_SECONDS * 2 ** (attempt - 1)
+                trace.kernels.append(
+                    KernelCounters(name=BACKOFF_KERNEL, fixed_seconds=backoff)
+                )
+                registry = obs.active_metrics()
+                if registry is not None:
+                    registry.counter(
+                        "resilience.retries",
+                        algorithm="multi-gpu",
+                        fault="TransferError",
+                    ).inc()

@@ -1,0 +1,285 @@
+"""Resilient top-k execution: retries, fallback chains, verification.
+
+The production counterpart to :func:`repro.topk`: where the plain entry
+point lets a device fault escape as an exception, the
+:class:`ResilientExecutor` walks a *fallback chain* of algorithms (by
+default the planner's cost ranking, finishing on the CPU heap, which has
+no simulated GPU to lose) and retries each transient fault with
+exponential backoff in simulated time:
+
+1. **bounded retry** — :class:`~repro.resilience.retry.RetryPolicy`;
+   backoff is accounted as a fixed-time ``resilience-backoff`` kernel
+   appended to the winning trace, so timing stays deterministic;
+2. **fallback** — after ``max_attempts`` failures (or immediately on
+   :class:`~repro.errors.ResourceExhaustedError`, which no retry can fix)
+   the next-cheapest surviving algorithm takes over;
+3. **verification** — every candidate result passes the
+   :mod:`repro.resilience.verify` hooks; a corrupt answer is treated as a
+   retryable :class:`~repro.errors.MemoryCorruptionError`, never returned.
+
+With no fault injector installed and no faults occurring, the executor
+adds nothing to the result: same values, same trace, same simulated time
+as calling the algorithm directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import observability as obs
+from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
+from repro.algorithms.registry import create, list_algorithms
+from repro.core.planner import TopKPlanner
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.cpu.pq_topk import HandPqTopK
+from repro.errors import ReproError, ResourceExhaustedError
+from repro.gpu import faults
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import DeviceSpec, get_device
+from repro.gpu.timing import BACKOFF_KERNEL
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy, is_retryable
+from repro.resilience.verify import verify_result
+
+#: The fixed fallback order when the caller names an explicit algorithm
+#: (the planner's cost ranking is used for "auto"): bitonic first (the
+#: paper's winner), then the selection baselines, then the CPU heap —
+#: which needs no working GPU at all.
+DEFAULT_FALLBACK_CHAIN = ("bitonic", "radix-select", "bucket-select", "sort")
+
+#: Sentinel name for the terminal CPU fallback stage.
+CPU_FALLBACK = "cpu-heap"
+
+
+@dataclass
+class AttemptLog:
+    """What happened across one resilient run, for reports and tests."""
+
+    attempts: int = 0
+    retries: int = 0
+    fallbacks: list[tuple[str, str]] = field(default_factory=list)
+    verification_failures: int = 0
+    backoff_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+
+class ResilientExecutor:
+    """Run top-k so that transient device faults never surface as wrong
+    answers — only as retries, fallbacks, or (when everything is down) a
+    typed :class:`~repro.errors.ReproError`."""
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        verify: bool = True,
+        cpu_fallback: bool = True,
+    ):
+        self.device = device or get_device()
+        self.retry = retry
+        self.verify = verify
+        self.cpu_fallback = cpu_fallback
+        self.planner = TopKPlanner(self.device)
+
+    # -- chain construction ---------------------------------------------
+
+    def fallback_chain(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype,
+        algorithm: str = "auto",
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> list[str]:
+        """Ordered algorithm names to attempt for this configuration."""
+        chain: list[str] = []
+        if algorithm == "auto":
+            choice = self.planner.choose(n, k, dtype, profile)
+            chain.extend(choice.fallback_chain())
+        else:
+            chain.append(algorithm)
+        for name in DEFAULT_FALLBACK_CHAIN:
+            if name not in chain and name in list_algorithms():
+                chain.append(name)
+        if self.cpu_fallback:
+            chain.append(CPU_FALLBACK)
+        return chain
+
+    def _instantiate(self, name: str) -> TopKAlgorithm:
+        if name == CPU_FALLBACK:
+            return HandPqTopK(self.device)
+        return create(name, self.device)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        data: np.ndarray,
+        k: int,
+        algorithm: str = "auto",
+        model_n: int | None = None,
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+        log: AttemptLog | None = None,
+    ) -> TopKResult:
+        """Compute the exact top-k of ``data``, surviving injected faults.
+
+        Raises a typed :class:`~repro.errors.ReproError` only when every
+        algorithm in the chain has exhausted its retry budget.
+        """
+        data = np.asarray(data)
+        validate_topk_args(data, k)
+        log = log if log is not None else AttemptLog()
+        chain = self.fallback_chain(
+            len(data), k, data.dtype, algorithm, profile
+        )
+        registry = obs.active_metrics()
+        last_error: ReproError | None = None
+        with obs.span(
+            "resilient-topk",
+            category="resilience",
+            n=len(data),
+            k=k,
+            requested_algorithm=algorithm,
+            chain=",".join(chain),
+        ) as span:
+            for position, name in enumerate(chain):
+                if position > 0:
+                    previous = chain[position - 1]
+                    log.fallbacks.append((previous, name))
+                    if registry is not None:
+                        registry.counter(
+                            "resilience.fallbacks", source=previous, target=name
+                        ).inc()
+                    with obs.span(
+                        "fallback",
+                        category="resilience",
+                        source=previous,
+                        target=name,
+                    ):
+                        pass
+                result, error = self._attempt_algorithm(
+                    name, data, k, model_n, log
+                )
+                if result is not None:
+                    self._account_backoff(result, log)
+                    span.set(
+                        algorithm=result.algorithm,
+                        attempts=log.attempts,
+                        retries=log.retries,
+                        fallbacks=len(log.fallbacks),
+                    )
+                    if registry is not None:
+                        registry.counter(
+                            "resilience.runs", algorithm=result.algorithm
+                        ).inc()
+                    return result
+                last_error = error
+            span.set(exhausted=True, attempts=log.attempts)
+        if registry is not None:
+            registry.counter("resilience.exhausted").inc()
+        assert last_error is not None
+        raise last_error
+
+    def _attempt_algorithm(
+        self,
+        name: str,
+        data: np.ndarray,
+        k: int,
+        model_n: int | None,
+        log: AttemptLog,
+    ) -> tuple[TopKResult | None, ReproError | None]:
+        """Retry loop for one chain stage; (None, error) means 'fall back'."""
+        registry = obs.active_metrics()
+        last_error: ReproError | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            log.attempts += 1
+            try:
+                algorithm = self._instantiate(name)
+                if name == CPU_FALLBACK:
+                    # The CPU heap has no simulated device to lose and no
+                    # PCIe copy to corrupt: it is the terminal stage that
+                    # must succeed whatever the injector does, so device
+                    # fault sites are suspended for its attempt.
+                    with faults.suspended():
+                        result = algorithm.run(data, k, model_n=model_n)
+                else:
+                    result = algorithm.run(data, k, model_n=model_n)
+                    # Simulated D2H copy of the finished result: a transfer
+                    # fault-injection site, then an optional silent-
+                    # corruption site the verification hooks must catch.
+                    faults.fault_point("result-transfer", name)
+                    faults.filter_result("result-buffer", result.values, name)
+                if self.verify:
+                    verify_result(data, result)
+                return result, None
+            except ResourceExhaustedError as error:
+                # A capacity limit: retrying cannot help, skip the stage.
+                log.errors.append(f"{name}: {error}")
+                if registry is not None:
+                    registry.counter(
+                        "resilience.infeasible", algorithm=name
+                    ).inc()
+                return None, error
+            except ReproError as error:
+                if not is_retryable(error):
+                    raise
+                log.errors.append(f"{name}: {error}")
+                last_error = error
+                site = getattr(error, "site", "")
+                if site == "result-verify":
+                    log.verification_failures += 1
+                    if registry is not None:
+                        registry.counter(
+                            "resilience.verification_failures", algorithm=name
+                        ).inc()
+                if attempt == self.retry.max_attempts:
+                    return None, last_error
+                log.retries += 1
+                backoff = self.retry.backoff_seconds(attempt)
+                log.backoff_seconds += backoff
+                if registry is not None:
+                    registry.counter(
+                        "resilience.retries",
+                        algorithm=name,
+                        fault=type(error).__name__,
+                    ).inc()
+                with obs.span(
+                    "retry",
+                    category="resilience",
+                    algorithm=name,
+                    attempt=attempt,
+                    fault=type(error).__name__,
+                    backoff_ms=backoff * 1e3,
+                ) as retry_span:
+                    retry_span.add_simulated_ms(backoff * 1e3)
+        return None, last_error
+
+    def _account_backoff(self, result: TopKResult, log: AttemptLog) -> None:
+        """Charge accumulated backoff to the winning trace (simulated)."""
+        if log.backoff_seconds <= 0.0:
+            return
+        # Constructed directly (not via trace.launch) so backoff accounting
+        # cannot itself trip the kernel-launch fault point.
+        counters = KernelCounters(
+            name=BACKOFF_KERNEL, fixed_seconds=log.backoff_seconds
+        )
+        result.trace.kernels.append(counters)
+        result.trace.notes["retries"] = float(log.retries)
+        result.trace.notes["backoff_seconds"] = log.backoff_seconds
+
+
+def resilient_topk(
+    data: np.ndarray,
+    k: int,
+    algorithm: str = "auto",
+    device: DeviceSpec | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY,
+    model_n: int | None = None,
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+) -> TopKResult:
+    """Convenience wrapper around :class:`ResilientExecutor`."""
+    executor = ResilientExecutor(device, retry=retry)
+    return executor.run(
+        data, k, algorithm=algorithm, model_n=model_n, profile=profile
+    )

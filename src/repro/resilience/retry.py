@@ -1,0 +1,79 @@
+"""Bounded retry with exponential backoff in *simulated* time.
+
+A production system would sleep between retries; a deterministic simulator
+must not touch the wall clock.  Backoff here is therefore accounted the
+same way every other cost in this library is: as simulated seconds,
+appended to the winning result's execution trace as one fixed-time
+``resilience-backoff`` kernel.  Identical fault schedules thus produce
+identical ``simulated_ms()`` — the determinism the chaos suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    DeviceLostError,
+    FaultError,
+    InvalidParameterError,
+    KernelTimeoutError,
+    MemoryCorruptionError,
+    TransferError,
+)
+
+#: Fault classes worth retrying on the *same* algorithm: transient device
+#: failures.  ResourceExhaustedError is deliberately absent — a capacity
+#: limit will not go away on retry, so it falls through to the next
+#: algorithm in the fallback chain instead.
+RETRYABLE_ERRORS = (
+    DeviceLostError,
+    MemoryCorruptionError,
+    KernelTimeoutError,
+    TransferError,
+    FaultError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff, expressed in simulated seconds."""
+
+    max_attempts: int = 3
+    base_backoff_seconds: float = 1e-3
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError("max_attempts must be at least 1")
+        if self.base_backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise InvalidParameterError("backoff durations cannot be negative")
+        if self.multiplier < 1.0:
+            raise InvalidParameterError("multiplier must be at least 1")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Simulated sleep before retrying after failed attempt ``attempt``
+        (1-based): ``base * multiplier**(attempt - 1)``, capped."""
+        if attempt < 1:
+            raise InvalidParameterError("attempt numbers are 1-based")
+        raw = self.base_backoff_seconds * self.multiplier ** (attempt - 1)
+        return min(raw, self.max_backoff_seconds)
+
+    def total_backoff_seconds(self, failed_attempts: int) -> float:
+        """Simulated backoff accumulated over ``failed_attempts`` failures."""
+        return sum(
+            self.backoff_seconds(attempt)
+            for attempt in range(1, failed_attempts + 1)
+        )
+
+
+#: A policy that never retries — useful to make fallback decisions direct.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: The default policy used by the resilient executor and the engine.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` is a transient fault worth retrying."""
+    return isinstance(error, RETRYABLE_ERRORS)

@@ -1,0 +1,81 @@
+"""Result verification hooks: catch corrupted answers before callers do.
+
+Silent memory corruption (a bit flip in a result buffer) produces a result
+that *looks* fine — right length, plausible values.  These checks are the
+cheap invariants every top-k answer must satisfy, all O(k):
+
+* **k-length** — exactly ``k`` values and (if present) ``k`` indices;
+* **sortedness** — values are in descending rank order (pairs involving
+  NaN are skipped: IEEE comparisons with NaN are unordered, and the radix
+  artifact documented in ``tests/test_special_values.py`` may surface NaN
+  legitimately);
+* **membership spot-check** — ``values[i] == data[indices[i]]`` for every
+  result row (bitwise NaN-tolerant), so a flipped bit in either array is
+  caught.
+
+A failed check raises :class:`~repro.errors.MemoryCorruptionError`, which
+the resilient executor treats as retryable — re-execution replaces the
+corrupt answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TopKResult
+from repro.errors import MemoryCorruptionError
+
+
+def _equal_nan_aware(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise equality where NaN == NaN (float dtypes only)."""
+    if a.dtype.kind == "f":
+        return (a == b) | (np.isnan(a) & np.isnan(b))
+    return a == b
+
+
+def verification_issues(data: np.ndarray, result: TopKResult) -> list[str]:
+    """All violated invariants of ``result`` against its input ``data``."""
+    issues: list[str] = []
+    values = np.asarray(result.values)
+    if len(values) != result.k:
+        issues.append(
+            f"k-length: expected {result.k} values, got {len(values)}"
+        )
+    if result.indices is not None and len(result.indices) != result.k:
+        issues.append(
+            f"k-length: expected {result.k} indices, got {len(result.indices)}"
+        )
+    if len(values) > 1:
+        if values.dtype.kind == "f":
+            nan = np.isnan(values)
+            comparable = ~(nan[:-1] | nan[1:])
+        else:
+            comparable = np.ones(len(values) - 1, dtype=bool)
+        descending = values[:-1] >= values[1:]
+        if bool((~descending & comparable).any()):
+            issues.append("sortedness: values are not in descending order")
+    if result.indices is not None and len(values) == result.k:
+        indices = np.asarray(result.indices)
+        if indices.size and (
+            (indices < 0).any() or (indices >= len(data)).any()
+        ):
+            issues.append("membership: indices out of range")
+        elif indices.size:
+            gathered = np.asarray(data)[indices]
+            if not bool(_equal_nan_aware(gathered, values).all()):
+                issues.append(
+                    "membership: values disagree with data[indices]"
+                )
+    return issues
+
+
+def verify_result(data: np.ndarray, result: TopKResult) -> None:
+    """Raise :class:`MemoryCorruptionError` if ``result`` is corrupt."""
+    issues = verification_issues(data, result)
+    if issues:
+        raise MemoryCorruptionError(
+            f"result verification failed for {result.algorithm}: "
+            + "; ".join(issues),
+            site="result-verify",
+            detail=result.algorithm,
+        )

@@ -1,0 +1,54 @@
+"""The chaos campaign: survival across seeds, determinism, reporting."""
+
+import json
+
+import pytest
+
+from repro.resilience.chaos import TARGETS, run_campaign
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_campaign_survives_across_seeds(seed):
+    report = run_campaign(seed=seed, trials=30)
+    assert len(report.trials) == 30
+    assert report.survived, report.render()
+    assert report.count("wrong-answer") == 0
+    assert report.count("unhandled") == 0
+
+
+def test_campaign_is_deterministic():
+    first = run_campaign(seed=42, trials=20)
+    second = run_campaign(seed=42, trials=20)
+    assert [t.to_dict() for t in first.trials] == [
+        t.to_dict() for t in second.trials
+    ]
+
+
+def test_campaign_actually_injects_faults():
+    report = run_campaign(seed=0, trials=30)
+    assert sum(trial.injections for trial in report.trials) > 0
+
+
+def test_campaign_covers_every_target():
+    report = run_campaign(seed=0, trials=120)
+    seen = {trial.target for trial in report.trials}
+    assert seen == set(TARGETS)
+
+
+def test_report_serializes_to_json():
+    report = run_campaign(seed=0, trials=5)
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["seed"] == 0
+    assert len(payload["trials"]) == 5
+    assert set(payload["outcomes"]) == {
+        "exact",
+        "typed-error",
+        "wrong-answer",
+        "unhandled",
+    }
+
+
+def test_render_mentions_verdict():
+    report = run_campaign(seed=0, trials=5)
+    text = report.render()
+    assert "SURVIVED" in text or "FAILED" in text

@@ -1,0 +1,221 @@
+"""The fault injector: plans, determinism, schedules, zero overhead."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceLostError,
+    KernelTimeoutError,
+    MemoryCorruptionError,
+    ResourceExhaustedError,
+    TransferError,
+)
+from repro.gpu import faults
+from repro.gpu.faults import (
+    FAULT_ERRORS,
+    FaultInjector,
+    FaultPlan,
+    inject,
+)
+
+
+class TestFaultPlan:
+    def test_unknown_fault_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault type"):
+            FaultPlan(site="kernel-launch", fault="gremlins")
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(site="kernel-launch", fault="device-lost", nth=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(
+                site="kernel-launch", fault="device-lost", probability=1.5
+            )
+
+
+class TestInjectorFiring:
+    def test_nth_call_fires_exactly_once(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(site="s", fault="device-lost", nth=3)
+            ],
+        )
+        injector.check("s")
+        injector.check("s")
+        with pytest.raises(DeviceLostError):
+            injector.check("s")
+        # The nth plan matched call 3 only; later calls pass.
+        injector.check("s")
+        assert len(injector.injections) == 1
+        assert injector.injections[0].call_index == 3
+
+    def test_max_injections_bounds_probability_plans(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="s",
+                    fault="transfer-error",
+                    probability=1.0,
+                    max_injections=2,
+                )
+            ],
+        )
+        for _ in range(2):
+            with pytest.raises(TransferError):
+                injector.check("s")
+        injector.check("s")
+        assert len(injector.injections) == 2
+
+    def test_match_restricts_by_detail(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="kernel-launch",
+                    fault="device-lost",
+                    nth=1,
+                    match="SortReducer",
+                )
+            ],
+        )
+        injector.check("kernel-launch", "LocalSort")
+        with pytest.raises(DeviceLostError):
+            injector.check("kernel-launch", "SortReducer")
+
+    def test_every_fault_type_raises_its_class(self):
+        for fault, error_type in FAULT_ERRORS.items():
+            injector = FaultInjector(
+                seed=0, plans=[FaultPlan(site="s", fault=fault, nth=1)]
+            )
+            with pytest.raises(error_type):
+                injector.check("s")
+
+    def test_typed_faults_carry_site_and_detail(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[FaultPlan(site="s", fault="kernel-timeout", nth=1)],
+        )
+        with pytest.raises(KernelTimeoutError) as excinfo:
+            injector.check("s", "LocalSort")
+        assert excinfo.value.site == "s"
+        assert excinfo.value.detail == "LocalSort"
+
+
+class TestSilentCorruption:
+    def test_silent_value_plan_flips_a_bit(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="global-memory-read",
+                    fault="memory-corruption",
+                    nth=1,
+                    silent=True,
+                )
+            ],
+        )
+        corrupted = injector.filter_value("global-memory-read", 1.0)
+        assert corrupted != 1.0
+        assert injector.filter_value("global-memory-read", 1.0) == 1.0
+
+    def test_non_silent_value_plan_raises(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="global-memory-read",
+                    fault="memory-corruption",
+                    nth=1,
+                )
+            ],
+        )
+        with pytest.raises(MemoryCorruptionError):
+            injector.filter_value("global-memory-read", 1.0)
+
+    def test_silent_array_plan_corrupts_one_element(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="result-buffer",
+                    fault="memory-corruption",
+                    nth=1,
+                    silent=True,
+                )
+            ],
+        )
+        values = np.arange(16, dtype=np.float32)
+        pristine = values.copy()
+        injector.filter_array("result-buffer", values)
+        assert np.count_nonzero(values != pristine) == 1
+
+
+class TestDeterminism:
+    def _schedule(self, seed):
+        injector = FaultInjector(
+            seed=seed,
+            plans=[
+                FaultPlan(
+                    site="s",
+                    fault="device-lost",
+                    probability=0.4,
+                    max_injections=None,
+                )
+            ],
+        )
+        schedule = []
+        for index in range(64):
+            try:
+                injector.check("s", f"call-{index}")
+            except DeviceLostError:
+                schedule.append(index)
+        return schedule
+
+    def test_identical_seeds_identical_schedules(self):
+        assert self._schedule(7) == self._schedule(7)
+
+    def test_different_seeds_differ(self):
+        assert self._schedule(7) != self._schedule(8)
+
+
+class TestContextVar:
+    def test_no_injector_is_a_no_op(self):
+        assert faults.active_injector() is None
+        faults.fault_point("kernel-launch", "anything")
+        assert faults.filter_read("global-memory-read", 2.5) == 2.5
+
+    def test_inject_installs_and_restores(self):
+        injector = FaultInjector(seed=0)
+        with inject(injector):
+            assert faults.active_injector() is injector
+        assert faults.active_injector() is None
+
+    def test_suspended_hides_the_injector(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[
+                FaultPlan(
+                    site="s",
+                    fault="device-lost",
+                    probability=1.0,
+                    max_injections=None,
+                )
+            ],
+        )
+        with inject(injector):
+            with faults.suspended():
+                faults.fault_point("s")
+            with pytest.raises(DeviceLostError):
+                faults.fault_point("s")
+
+    def test_resource_exhausted_plan_raises_plain_class(self):
+        injector = FaultInjector(
+            seed=0,
+            plans=[FaultPlan(site="s", fault="resource-exhausted", nth=1)],
+        )
+        with pytest.raises(ResourceExhaustedError):
+            injector.check("s")

@@ -1,0 +1,124 @@
+"""Multi-GPU device loss: redistribution, cascades, gather retries."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.errors import DeviceLostError
+from repro.gpu.device import get_device
+from repro.gpu.faults import FaultInjector, FaultPlan, inject
+from repro.hybrid.multi_gpu import MultiGpuTopK
+
+
+@pytest.fixture
+def data(rng):
+    return rng.standard_normal(8192).astype(np.float32)
+
+
+@pytest.fixture
+def expected(data):
+    return reference_topk(data, 32)[0]
+
+
+def test_no_injector_unchanged(data, expected):
+    result = MultiGpuTopK().run(data, 32)
+    assert np.array_equal(result.values, expected)
+    assert result.trace.notes["devices_lost"] == 0
+
+
+def test_one_lost_device_redistributes_exactly(data, expected):
+    injector = FaultInjector(
+        seed=0,
+        plans=[FaultPlan(site="device-launch", fault="device-lost", nth=1)],
+    )
+    with inject(injector):
+        result = MultiGpuTopK().run(data, 32)
+    assert np.array_equal(result.values, expected)
+    assert result.trace.notes["devices_lost"] == 1
+    assert result.trace.notes["slices_redistributed"] >= 1
+
+
+def test_loss_costs_simulated_time(data):
+    baseline = MultiGpuTopK().run(data, 32).simulated_ms()
+    injector = FaultInjector(
+        seed=0,
+        plans=[FaultPlan(site="device-launch", fault="device-lost", nth=1)],
+    )
+    with inject(injector):
+        degraded = MultiGpuTopK().run(data, 32)
+    assert degraded.simulated_ms() > baseline
+    names = [kernel.name for kernel in degraded.trace.kernels]
+    assert "multi-gpu-redistribute" in names
+
+
+def test_cascading_loss_survives_with_one_survivor(data, expected):
+    devices = [get_device("titan-x-maxwell") for _ in range(4)]
+    injector = FaultInjector(
+        seed=0,
+        plans=[
+            FaultPlan(
+                site="device-launch",
+                fault="device-lost",
+                nth=None,
+                probability=1.0,
+                max_injections=3,
+            )
+        ],
+    )
+    with inject(injector):
+        result = MultiGpuTopK(devices).run(data, 32)
+    assert np.array_equal(result.values, expected)
+    assert result.trace.notes["devices_lost"] == 3
+
+
+def test_all_devices_lost_raises_typed_error(data):
+    injector = FaultInjector(
+        seed=0,
+        plans=[
+            FaultPlan(
+                site="device-launch",
+                fault="device-lost",
+                probability=1.0,
+                max_injections=None,
+            )
+        ],
+    )
+    with pytest.raises(DeviceLostError):
+        with inject(injector):
+            MultiGpuTopK().run(data, 32)
+
+
+def test_gather_transfer_fault_retried(data, expected):
+    injector = FaultInjector(
+        seed=0,
+        plans=[
+            FaultPlan(site="pcie-transfer", fault="transfer-error", nth=1)
+        ],
+    )
+    with inject(injector):
+        result = MultiGpuTopK().run(data, 32)
+    assert np.array_equal(result.values, expected)
+
+
+def test_determinism_identical_seeds(data):
+    def run_once():
+        injector = FaultInjector(
+            seed=5,
+            plans=[
+                FaultPlan(
+                    site="device-launch",
+                    fault="device-lost",
+                    probability=0.5,
+                    max_injections=1,
+                )
+            ],
+        )
+        with inject(injector):
+            result = MultiGpuTopK().run(data, 32)
+        return (
+            result.simulated_ms(),
+            injector.schedule(),
+            result.trace.notes["devices_lost"],
+        )
+
+    assert run_once() == run_once()
