@@ -37,7 +37,7 @@ def _next_power_of_two(value: int) -> int:
     return 1 << max(0, (value - 1).bit_length())
 
 
-def _fix_sentinel_indices(
+def repair_padded_indices(
     data: np.ndarray, values: np.ndarray, indices: np.ndarray, n: int
 ) -> np.ndarray:
     """Repair result indices that point at padding slots.
@@ -45,7 +45,12 @@ def _fix_sentinel_indices(
     A padding sentinel can only reach the top-k when real elements share the
     dtype's minimum value, in which case the returned *values* are already
     correct and we only need to point the indices at unused real rows
-    holding that value.
+    holding that value.  (With NaN payloads the comparison network can also
+    carry a sentinel past real values — ordering is undefined there, so any
+    unused real row is an acceptable substitute.)
+
+    Shared by the single-row :class:`BitonicTopK` and the batched kernel in
+    :mod:`repro.core.batched`, which keeps their tie-breaking bit-identical.
     """
     broken = indices >= n
     if not broken.any():
@@ -55,8 +60,16 @@ def _fix_sentinel_indices(
     replacements = [
         row for row in np.flatnonzero(data == minimum) if row not in used
     ]
+    slots = np.flatnonzero(broken)
+    if len(replacements) < len(slots):
+        # Only reachable when NaNs scrambled the network: top up with the
+        # lowest real rows not already part of the result.
+        taken = used | set(replacements)
+        extras = (row for row in range(n) if row not in taken)
+        while len(replacements) < len(slots):
+            replacements.append(next(extras))
     fixed = indices.copy()
-    fixed[np.flatnonzero(broken)] = replacements[: int(broken.sum())]
+    fixed[slots] = replacements[: len(slots)]
     return fixed
 
 
@@ -102,7 +115,7 @@ class BitonicTopK(TopKAlgorithm):
         ):
             top_values, top_payload = reduce_topk(working, network_k, payload)
         values = top_values[:k].copy()
-        indices = _fix_sentinel_indices(data, values, top_payload[:k].copy(), n)
+        indices = repair_padded_indices(data, values, top_payload[:k].copy(), n)
 
         trace = build_trace(
             model_n or n, network_k, data.dtype.itemsize, self.flags, self.device

@@ -13,6 +13,7 @@ Examples::
         LIMIT 50" --rows 262144
     python -m repro profile --n 1048576 --k 32
     python -m repro chaos --seed 0 --trials 50
+    python -m repro serve-bench --queries 1000 --shapes 4 --n 512 --k 8
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -139,6 +140,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", action="store_true",
         help="emit the full report as JSON instead of the text summary",
+    )
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="replay a synthetic workload through the serving layer and "
+             "compare against sequential execution",
+    )
+    serve.add_argument("--queries", type=int, default=1000)
+    serve.add_argument("--shapes", type=int, default=4,
+                       help="number of distinct (n, k) shapes in the stream")
+    serve.add_argument("--n", type=int, default=512, help="row length")
+    serve.add_argument("--k", type=int, default=8, help="base k (shape i uses k + i)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--device", default="titan-x-maxwell", choices=list_devices())
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="largest number of queries fused into one launch")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the plan cache (replan every query)")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="disable cross-query batching (serve per query)")
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    serve.add_argument("--out", default=None,
+                       help="also write the JSON report to this path")
+    serve.add_argument(
+        "--baseline", default=None,
+        help="gate the run against a committed BENCH_serving.json baseline",
     )
     return parser
 
@@ -272,6 +302,50 @@ def _command_chaos(arguments) -> int:
     return 0 if report.survived else 1
 
 
+def _command_serve_bench(arguments) -> int:
+    import json
+
+    from repro.serving import Workload, check_baseline, run_serving_benchmark
+
+    report = run_serving_benchmark(
+        Workload(
+            queries=arguments.queries,
+            shapes=arguments.shapes,
+            n=arguments.n,
+            k=arguments.k,
+            seed=arguments.seed,
+        ),
+        device=get_device(arguments.device),
+        cache=not arguments.no_cache,
+        batching=not arguments.no_batch,
+        max_batch=arguments.max_batch,
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    if not report.identical:
+        print(
+            "error: served results are not bit-equal to sequential results",
+            file=sys.stderr,
+        )
+        return 1
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"baseline regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -288,6 +362,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_profile(arguments)
         if arguments.command == "chaos":
             return _command_chaos(arguments)
+        if arguments.command == "serve-bench":
+            return _command_serve_bench(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro import observability as obs
-from repro.algorithms.base import TopKResult
+from repro.algorithms.base import SUPPORTED_DTYPES, TopKResult
 from repro.bitonic.kernels import build_trace
+from repro.bitonic.topk import repair_padded_indices
 from repro.bitonic.network import (
     Step,
     local_sort_steps,
@@ -35,12 +36,52 @@ from repro.gpu.device import DeviceSpec, get_device
 def apply_step_batched(
     matrix: np.ndarray, step: Step, payload: np.ndarray | None = None
 ) -> None:
-    """One compare-exchange step applied to every row, in place."""
+    """One compare-exchange step applied to every row, in place.
+
+    The step's lower partners ``i = 2t - (t & (inc - 1))`` are exactly the
+    first ``inc`` columns of each ``2 * inc`` block, so on contiguous
+    arrays the exchange runs on reshaped block views (contiguous strided
+    copies) instead of fancy-indexed gather/scatter — the fused-launch
+    fast path the serving batcher relies on.
+    """
     n = matrix.shape[1]
-    if n % (2 * step.inc) != 0:
+    inc = step.inc
+    if n % (2 * inc) != 0:
         raise InvalidParameterError(
-            f"row length {n} is not a multiple of the step block {2 * step.inc}"
+            f"row length {n} is not a multiple of the step block {2 * inc}"
         )
+    contiguous = matrix.flags.c_contiguous and (
+        payload is None or payload.flags.c_contiguous
+    )
+    if not contiguous:
+        _apply_step_batched_gather(matrix, step, payload)
+        return
+    rows = matrix.shape[0]
+    view = matrix.reshape(rows, -1, 2, inc)
+    left = view[:, :, 0, :]
+    right = view[:, :, 1, :]
+    blocks = n // (2 * inc)
+    i = (np.arange(blocks) * 2 * inc)[:, None] + np.arange(inc)[None, :]
+    reverse = (i & step.direction_period) == 0
+    swap = np.logical_xor(reverse, left < right)
+    new_left = np.where(swap, right, left)
+    view[:, :, 1, :] = np.where(swap, left, right)
+    view[:, :, 0, :] = new_left
+    if payload is not None:
+        payload_view = payload.reshape(rows, -1, 2, inc)
+        left_payload = payload_view[:, :, 0, :]
+        right_payload = payload_view[:, :, 1, :]
+        new_left_payload = np.where(swap, right_payload, left_payload)
+        payload_view[:, :, 1, :] = np.where(swap, left_payload, right_payload)
+        payload_view[:, :, 0, :] = new_left_payload
+
+
+def _apply_step_batched_gather(
+    matrix: np.ndarray, step: Step, payload: np.ndarray | None
+) -> None:
+    """Fancy-indexed fallback for non-contiguous inputs (reshape would
+    silently copy, losing the in-place writes)."""
+    n = matrix.shape[1]
     t = np.arange(n // 2)
     low = t & (step.inc - 1)
     i = (t << 1) - low
@@ -125,6 +166,11 @@ def batched_topk(
     matrix = np.asarray(matrix)
     if matrix.ndim != 2:
         raise InvalidParameterError("batched top-k expects a 2-D array")
+    if matrix.dtype.type not in SUPPORTED_DTYPES:
+        supported = ", ".join(t.__name__ for t in SUPPORTED_DTYPES)
+        raise InvalidParameterError(
+            f"unsupported dtype {matrix.dtype}; supported: {supported}"
+        )
     rows, n = matrix.shape
     if rows == 0 or n == 0:
         raise InvalidParameterError("batched top-k needs a non-empty matrix")
@@ -148,10 +194,15 @@ def batched_topk(
             sentinel = np.iinfo(matrix.dtype).min
         working = np.full((rows, padded_n), sentinel, dtype=matrix.dtype)
         working[:, :n] = matrix
+        # Column positions fit in 32 bits for any realistic row, halving the
+        # payload traffic through the network; widened to the result dtype
+        # (matching the single-row kernel) after the reduction.
+        payload_dtype = np.int32 if padded_n <= np.iinfo(np.int32).max else np.int64
         payload = np.broadcast_to(
-            np.arange(padded_n, dtype=np.int64), (rows, padded_n)
+            np.arange(padded_n, dtype=payload_dtype), (rows, padded_n)
         ).copy()
         values, indices = batched_reduce_topk(working, network_k, payload)
+        indices = indices.astype(np.int64, copy=False)
 
         # The single-row kernel pipeline, traffic scaled by the batch size but
         # launch count unchanged (one fused launch covers all rows).
@@ -165,9 +216,23 @@ def batched_topk(
         from repro.observability.instrument import record_trace
 
         span.set(simulated_ms=record_trace(trace, device))
+
+        top_values = values[:, :k].copy()
+        top_indices = indices[:, :k].copy()
+        # Padding slots carry the dtype's minimum value, which ties with
+        # legitimate minima (0 for unsigned ints, real -inf floats), so a
+        # padded column index >= n can win a compare-exchange.  Point those
+        # entries back at unused real columns holding the same value — the
+        # same repair (and tie-breaking) as the single-row kernel.
+        leaked = top_indices >= n
+        if leaked.any():
+            for row in np.flatnonzero(leaked.any(axis=1)):
+                top_indices[row] = repair_padded_indices(
+                    matrix[row], top_values[row], top_indices[row], n
+                )
     return TopKResult(
-        values=values[:, :k].copy(),
-        indices=indices[:, :k].copy(),
+        values=top_values,
+        indices=top_indices,
         trace=trace,
         algorithm="batched-bitonic",
         k=k,

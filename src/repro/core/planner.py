@@ -139,12 +139,17 @@ class TopKPlanner:
         radix = RadixSelectModel(self.device)
         k = 1
         while k <= max_k:
+            # Clamp before doing anything else: past k = n the comparison
+            # is frozen at k = n, and a k > n must never be returned.
             effective_k = min(k, n)
+            # Support is checked *before* costing — an unsupported bitonic
+            # configuration simply is the crossover; asking its model for a
+            # prediction first could raise instead.
+            if not bitonic.supports(n, effective_k, dtype):
+                return effective_k
             radix_time = radix.predict_seconds(n, effective_k, dtype, profile)
             bitonic_time = bitonic.predict_seconds(n, effective_k, dtype, profile)
-            if not bitonic.supports(n, effective_k, dtype) or (
-                radix_time < bitonic_time
-            ):
-                return k
+            if radix_time < bitonic_time:
+                return effective_k
             k *= 2
         return None

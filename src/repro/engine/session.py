@@ -123,3 +123,22 @@ class Session:
                 fault_retries=self.fault_retries,
             )
             return explain_query(executor, text, model_rows)
+
+    def serve(self, **kwargs):
+        """Open a concurrent serving front door over this session.
+
+        Returns a started :class:`~repro.serving.TopKServer` bound to the
+        session's device, flags, tables, and (with ``trace=True``) metrics
+        registry; use it as a context manager::
+
+            with session.serve(max_pending=256) as server:
+                future = server.submit(table="tweets", column="likes_count", k=10)
+                answer = future.result()
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serving.TopKServer`.
+        """
+        from repro.serving import TopKServer
+
+        kwargs.setdefault("flags", self.flags)
+        return TopKServer(session=self, **kwargs)

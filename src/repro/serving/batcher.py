@@ -1,0 +1,313 @@
+"""Cross-query batching: fuse compatible in-flight queries into one launch.
+
+The paper's own motivation for the batched kernel (TensorFlow/ArrayFire
+want the batched form so per-row launches amortize) applied to *serving*:
+when many small independent top-k queries are in flight at once, queries
+with the same row shape and padded network width are stacked into a
+``[batch, n]`` matrix and answered by a single
+:func:`~repro.core.batched.batched_topk` launch — one fused execution
+trace instead of N single-row traces.
+
+Eligibility rules (see ``docs/serving.md``):
+
+* same ``n`` and dtype (rows of one matrix);
+* same padded network width ``network_k = next_pow2(k)`` — queries with
+  different literal ``k`` share a batch because the bitonic network is
+  built for the padded width and a smaller k is a prefix of the result;
+* the plan cache picked ``bitonic`` for the query — the fused batched
+  kernel *is* the bitonic network, so batching a query the cost models
+  routed elsewhere could change its answer's tie-breaking.
+
+A batch that hits an injected device fault is not failed: it falls back to
+per-query execution through :class:`~repro.resilience.ResilientExecutor`,
+whose retry/fallback chain ends on the CPU heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.registry import create
+from repro.bitonic.optimizations import FULL
+from repro.core.batched import batched_topk
+from repro.core.planner import PlanChoice
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import FaultError, ResourceExhaustedError
+from repro.gpu import faults
+from repro.gpu.device import DeviceSpec, get_device
+from repro.gpu.timing import trace_time
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.executor import ResilientExecutor
+from repro.serving.plan_cache import PlanCache
+
+#: Largest number of queries fused into one batched launch; grouping
+#: chunks larger backlogs into consecutive launches of at most this size.
+DEFAULT_MAX_BATCH = 128
+
+#: The only algorithm the fused batched kernel implements; plans that pick
+#: anything else are served per-query.
+BATCHABLE_ALGORITHM = "bitonic"
+
+
+def network_k(k: int) -> int:
+    """The padded (power-of-two) width of the bitonic network for ``k``."""
+    return 1 << max(0, (k - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Everything two queries must share to ride one fused launch."""
+
+    n: int
+    dtype: str
+    network_k: int
+
+
+@dataclass
+class ServingRequest:
+    """One in-flight top-k query inside the serving layer."""
+
+    data: np.ndarray
+    k: int
+    #: Resolution target for the answer (a concurrent.futures.Future when
+    #: submitted through the scheduler; None when executed synchronously).
+    future: object | None = None
+    #: Fault injector active in the submitting thread, re-installed around
+    #: execution so injection crosses the thread boundary.
+    injector: object | None = None
+    #: Filled by the dispatcher from the plan cache.
+    plan: PlanChoice | None = None
+
+    @property
+    def key(self) -> BatchKey:
+        return BatchKey(len(self.data), str(self.data.dtype), network_k(self.k))
+
+    @property
+    def batchable(self) -> bool:
+        return self.plan is not None and self.plan.algorithm == BATCHABLE_ALGORITHM
+
+
+@dataclass
+class QueryOutcome:
+    """A served query's answer plus its execution accounting."""
+
+    values: np.ndarray
+    indices: np.ndarray
+    k: int
+    n: int
+    algorithm: str
+    plan: PlanChoice
+    batched: bool = False
+    batch_size: int = 1
+    #: Simulated milliseconds of the launch that produced this answer (the
+    #: *fused* total for a batched query — shared across the whole batch).
+    simulated_ms: float = 0.0
+    fell_back: bool = False
+
+    @property
+    def simulated_share_ms(self) -> float:
+        """This query's per-query share of its launch's simulated time."""
+        return self.simulated_ms / max(1, self.batch_size)
+
+
+class CrossQueryBatcher:
+    """Plans, groups, and executes serving requests.
+
+    Pure synchronous logic — the thread scheduler drives it, and tests can
+    call it directly.
+    """
+
+    def __init__(
+        self,
+        plan_cache: PlanCache | None = None,
+        device: DeviceSpec | None = None,
+        flags=None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        metrics: MetricsRegistry | None = None,
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ):
+        self.device = device or get_device()
+        # `is not None`, not `or`: an empty PlanCache is falsy (len == 0).
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(device=self.device, metrics=metrics)
+        )
+        self.flags = flags if flags is not None else FULL
+        self.max_batch = max(1, max_batch)
+        self.metrics = metrics
+        self.profile = profile
+        # Running totals for stats()/the bench, independent of the registry.
+        self.batches = 0
+        self.batched_queries = 0
+        self.single_queries = 0
+        self.batch_fallbacks = 0
+        self.fallback_queries = 0
+        self.simulated_ms_total = 0.0
+
+    # -- planning and grouping -------------------------------------------
+
+    def plan(self, request: ServingRequest) -> PlanChoice:
+        """Attach the (cached) plan for the request's shape."""
+        request.plan = self.plan_cache.choose(
+            len(request.data), request.k, request.data.dtype, self.profile
+        )
+        return request.plan
+
+    def group(
+        self, requests: Sequence[ServingRequest]
+    ) -> list[list[ServingRequest]]:
+        """Partition requests into execution groups, preserving arrival
+        order within each group.
+
+        Batch-eligible requests with the same :class:`BatchKey` share a
+        group (chunked at ``max_batch``); everything else runs alone.
+        """
+        groups: list[list[ServingRequest]] = []
+        open_group: dict[BatchKey, list[ServingRequest]] = {}
+        for request in requests:
+            if request.plan is None:
+                self.plan(request)
+            if not request.batchable:
+                groups.append([request])
+                continue
+            bucket = open_group.setdefault(request.key, [])
+            bucket.append(request)
+            if len(bucket) == 1:
+                groups.append(bucket)
+            if len(bucket) >= self.max_batch:
+                del open_group[request.key]
+        return groups
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, group: Sequence[ServingRequest]) -> list[QueryOutcome]:
+        """Run one group — fused when it has more than one member."""
+        injector = next(
+            (request.injector for request in group if request.injector is not None),
+            None,
+        )
+        context = faults.inject(injector) if injector is not None else None
+        if context is not None:
+            with context:
+                return self._execute(group)
+        return self._execute(group)
+
+    def _execute(self, group: Sequence[ServingRequest]) -> list[QueryOutcome]:
+        if len(group) > 1:
+            try:
+                return self._execute_batched(list(group))
+            except (FaultError, ResourceExhaustedError):
+                # A faulted fused launch degrades to per-query resilient
+                # execution rather than failing every rider.
+                self.batch_fallbacks += 1
+                self._count("serving.batch_fallbacks")
+                return [self._execute_resilient(request) for request in group]
+        return [self._execute_single(request) for request in group]
+
+    def _execute_batched(
+        self, group: list[ServingRequest]
+    ) -> list[QueryOutcome]:
+        max_k = max(request.k for request in group)
+        matrix = np.stack([request.data for request in group])
+        result = batched_topk(
+            matrix, max_k, device=self.device, flags=self.flags
+        )
+        simulated_ms = trace_time(result.trace, self.device).total_ms
+        self.batches += 1
+        self.batched_queries += len(group)
+        self.simulated_ms_total += simulated_ms
+        self._count("serving.batches")
+        self._count("serving.batched_queries", len(group))
+        self._observe_batch(len(group), simulated_ms)
+        outcomes = []
+        for row, request in enumerate(group):
+            outcomes.append(
+                QueryOutcome(
+                    values=result.values[row, : request.k].copy(),
+                    indices=result.indices[row, : request.k].copy(),
+                    k=request.k,
+                    n=len(request.data),
+                    algorithm=result.algorithm,
+                    plan=request.plan,
+                    batched=True,
+                    batch_size=len(group),
+                    simulated_ms=simulated_ms,
+                )
+            )
+        return outcomes
+
+    def _execute_single(self, request: ServingRequest) -> QueryOutcome:
+        try:
+            result = create(request.plan.algorithm, self.device).run(
+                request.data, request.k
+            )
+        except (FaultError, ResourceExhaustedError):
+            return self._execute_resilient(request)
+        simulated_ms = trace_time(result.trace, self.device).total_ms
+        self.single_queries += 1
+        self.simulated_ms_total += simulated_ms
+        self._count("serving.single_queries")
+        return QueryOutcome(
+            values=result.values,
+            indices=result.indices,
+            k=request.k,
+            n=len(request.data),
+            algorithm=result.algorithm,
+            plan=request.plan,
+            simulated_ms=simulated_ms,
+        )
+
+    def _execute_resilient(self, request: ServingRequest) -> QueryOutcome:
+        """Per-query fallback: the resilience layer's retry/fallback chain
+        (ending on the CPU heap) finishes what the fused launch could not."""
+        executor = ResilientExecutor(self.device)
+        result = executor.run(
+            request.data,
+            request.k,
+            algorithm=request.plan.algorithm,
+            profile=self.profile,
+        )
+        simulated_ms = trace_time(result.trace, self.device).total_ms
+        self.fallback_queries += 1
+        self.simulated_ms_total += simulated_ms
+        self._count("serving.fallback_queries")
+        return QueryOutcome(
+            values=result.values,
+            indices=result.indices,
+            k=request.k,
+            n=len(request.data),
+            algorithm=result.algorithm,
+            plan=request.plan,
+            simulated_ms=simulated_ms,
+            fell_back=True,
+        )
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "single_queries": self.single_queries,
+            "batch_fallbacks": self.batch_fallbacks,
+            "fallback_queries": self.fallback_queries,
+            "simulated_ms_total": self.simulated_ms_total,
+            "mean_batch_size": (
+                self.batched_queries / self.batches if self.batches else 0.0
+            ),
+        }
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe_batch(self, size: int, simulated_ms: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram("serving.batch_size").observe(size)
+            self.metrics.histogram("serving.batch_simulated_ms").observe(
+                simulated_ms
+            )

@@ -1,0 +1,156 @@
+"""Memoizing plan cache: pay :meth:`TopKPlanner.choose` once per shape.
+
+A production serving layer sees millions of queries but only a handful of
+distinct *shapes* — the planner's decision depends only on
+``(n, k, dtype, profile, device)``, never on the payload bytes, so its
+cost-model evaluation (which builds full kernel traces for every candidate
+algorithm) is pure and cacheable.  :class:`PlanCache` wraps a planner with
+an LRU map over that key and publishes hit/miss/eviction counters to the
+observability metrics registry:
+
+* ``serving.plan_cache.hits`` / ``.misses`` / ``.evictions`` — counters;
+* ``serving.plan_cache.size`` — gauge (current number of cached plans).
+
+The cache is thread-safe: the serving scheduler consults it from its
+dispatcher thread while callers may probe it directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import RLock
+
+import numpy as np
+
+from repro import observability as obs
+from repro.core.planner import PlanChoice, TopKPlanner
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec
+
+#: Default maximum number of cached plans; a shape key is ~5 small values,
+#: so the default bounds memory while covering any realistic shape mix.
+DEFAULT_CAPACITY = 256
+
+PlanKey = tuple[int, int, str, str, str]
+
+
+class PlanCache:
+    """LRU-memoized :meth:`TopKPlanner.choose`."""
+
+    def __init__(
+        self,
+        planner: TopKPlanner | None = None,
+        device: DeviceSpec | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: obs.MetricsRegistry | None = None,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"plan cache capacity must be at least 1, got {capacity}"
+            )
+        self.planner = planner or TopKPlanner(device)
+        self.capacity = capacity
+        #: When disabled every lookup replans (and counts as a miss) — the
+        #: baseline the serve-bench compares against.
+        self.enabled = enabled
+        #: Explicit sink for the cache's counters; when None the registry
+        #: active in the calling thread (if any) is used instead, so the
+        #: cache works both standalone and inside a server.
+        self.metrics = metrics
+        self._entries: OrderedDict[PlanKey, PlanChoice] = OrderedDict()
+        self._lock = RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keys -------------------------------------------------------------
+
+    def key(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype,
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> PlanKey:
+        """The memoization key: everything the planner's decision reads."""
+        return (
+            int(n),
+            int(k),
+            str(np.dtype(dtype)),
+            profile.name,
+            self.planner.device.name,
+        )
+
+    # -- the memoized call ------------------------------------------------
+
+    def choose(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> PlanChoice:
+        """:meth:`TopKPlanner.choose`, paid once per distinct shape."""
+        key = self.key(n, k, dtype, profile)
+        with self._lock:
+            if self.enabled:
+                choice = self._entries.get(key)
+                if choice is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._publish("hits")
+                    return choice
+            # Planning inside the lock keeps a burst of identical shapes
+            # from planning the same key concurrently — the whole point.
+            choice = self.planner.choose(n, k, dtype, profile)
+            self.misses += 1
+            self._publish("misses")
+            if self.enabled:
+                self._entries[key] = choice
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    self._publish("evictions")
+            return choice
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hit_rate": self.hit_rate,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- metrics ----------------------------------------------------------
+
+    def _publish(self, event: str) -> None:
+        registry = self.metrics if self.metrics is not None else obs.active_metrics()
+        if registry is None:
+            return
+        registry.counter(f"serving.plan_cache.{event}").inc()
+        registry.gauge("serving.plan_cache.size").set(len(self._entries))

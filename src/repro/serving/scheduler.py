@@ -1,0 +1,322 @@
+"""Thread-based serving scheduler with admission control.
+
+:class:`TopKServer` is the concurrency layer of ``repro.serving``: callers
+submit queries from any thread and receive
+:class:`concurrent.futures.Future` objects; a dispatcher thread drains the
+pending queue, consults the :class:`~repro.serving.plan_cache.PlanCache`,
+groups compatible queries through the
+:class:`~repro.serving.batcher.CrossQueryBatcher`, and resolves the
+futures.  Draining whatever has accumulated since the last dispatch is
+what creates batches: under concurrent load many same-shape queries are
+pending at once and leave as one fused launch.
+
+Admission control is a hard bound on in-flight queries: past
+``max_pending`` the server *sheds load* by raising a typed
+:class:`~repro.errors.ResourceExhaustedError` at submit time instead of
+growing an unbounded backlog — the standard overload contract of a
+production serving tier.
+
+Observability: the server owns (or adopts from its session) a
+:class:`~repro.observability.MetricsRegistry` and publishes
+``serving.submitted`` / ``serving.completed`` / ``serving.rejected`` /
+``serving.failed`` counters, a ``serving.queue_depth`` gauge, and the plan
+cache and batcher instruments.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro import observability as obs
+from repro.algorithms.base import validate_topk_args
+from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import InvalidParameterError, ResourceExhaustedError
+from repro.gpu import faults
+from repro.gpu.device import DeviceSpec, get_device
+from repro.serving.batcher import (
+    DEFAULT_MAX_BATCH,
+    CrossQueryBatcher,
+    QueryOutcome,
+    ServingRequest,
+)
+from repro.serving.plan_cache import DEFAULT_CAPACITY, PlanCache
+
+#: Default bound on in-flight queries before submissions are shed.
+DEFAULT_MAX_PENDING = 1024
+
+
+class TopKServer:
+    """Concurrent top-k serving on top of a :class:`~repro.engine.Session`.
+
+        >>> from repro.engine import Session, generate_tweets
+        >>> session = Session(trace=True)
+        >>> session.register(generate_tweets(1 << 14))
+        >>> with session.serve() as server:
+        ...     futures = [
+        ...         server.submit(table="tweets", column="likes_count", k=10)
+        ...         for _ in range(100)
+        ...     ]
+        ...     answers = [f.result() for f in futures]
+
+    The server also accepts raw vectors (``server.submit(data, k=8)``) for
+    workloads that bring their own payloads rather than querying a
+    registered table.
+    """
+
+    def __init__(
+        self,
+        session=None,
+        device: DeviceSpec | None = None,
+        flags: OptimizationFlags = FULL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        enable_cache: bool = True,
+        enable_batching: bool = True,
+        metrics: obs.MetricsRegistry | None = None,
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+        auto_start: bool = True,
+    ):
+        if max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be at least 1, got {max_pending}"
+            )
+        self.session = session
+        self.device = device or (
+            session.device if session is not None else get_device()
+        )
+        self.flags = flags
+        self.max_pending = max_pending
+        self.enable_batching = enable_batching
+        #: Metrics sink: an explicit registry, the session's (trace=True),
+        #: or a private one — never None, so counters always accumulate.
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (
+                session.metrics
+                if session is not None and session.metrics is not None
+                else obs.MetricsRegistry()
+            )
+        )
+        self.plan_cache = PlanCache(
+            device=self.device,
+            capacity=cache_capacity,
+            metrics=self.metrics,
+            enabled=enable_cache,
+        )
+        self.batcher = CrossQueryBatcher(
+            plan_cache=self.plan_cache,
+            device=self.device,
+            flags=flags,
+            max_batch=max_batch if enable_batching else 1,
+            metrics=self.metrics,
+            profile=profile,
+        )
+        self._pending: deque[ServingRequest] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+        if auto_start:
+            self.start()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "TopKServer":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("cannot start a closed server")
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="repro-serving-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the dispatcher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_ready.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+
+    def __enter__(self) -> "TopKServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        data: np.ndarray | None = None,
+        k: int = 1,
+        table: str | None = None,
+        column: str | None = None,
+    ) -> Future:
+        """Enqueue one top-k query; returns a Future of
+        :class:`~repro.serving.batcher.QueryOutcome`.
+
+        Either ``data`` (a 1-D vector) or ``table`` + ``column`` (resolved
+        through the server's session — the ``ORDER BY column DESC LIMIT k``
+        shape) must be provided.
+
+        Raises :class:`~repro.errors.ResourceExhaustedError` when the
+        server is over its ``max_pending`` admission bound.
+        """
+        request = self._make_request(data, k, table, column)
+        future: Future = Future()
+        request.future = future
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError(
+                    "cannot submit to a closed server"
+                )
+            if len(self._pending) + self._in_flight >= self.max_pending:
+                self.metrics.counter("serving.rejected").inc()
+                raise ResourceExhaustedError(
+                    f"serving queue is full ({self.max_pending} queries "
+                    f"pending); shedding load"
+                )
+            self._pending.append(request)
+            self.metrics.counter("serving.submitted").inc()
+            self.metrics.gauge("serving.queue_depth").set(len(self._pending))
+            self._work_ready.notify()
+        return future
+
+    def submit_many(self, requests) -> list[Future]:
+        """Submit an iterable of ``(data, k)`` pairs; one Future each."""
+        return [self.submit(data, k) for data, k in requests]
+
+    def query(
+        self,
+        data: np.ndarray | None = None,
+        k: int = 1,
+        table: str | None = None,
+        column: str | None = None,
+    ) -> QueryOutcome:
+        """Synchronous convenience: submit and wait for the answer."""
+        return self.submit(data, k, table, column).result()
+
+    def flush(self) -> None:
+        """Block until every submitted query has been resolved."""
+        with self._idle:
+            self._idle.wait_for(
+                lambda: not self._pending and self._in_flight == 0
+            )
+
+    # -- request construction ---------------------------------------------
+
+    def _make_request(
+        self,
+        data: np.ndarray | None,
+        k: int,
+        table: str | None,
+        column: str | None,
+    ) -> ServingRequest:
+        if (data is None) == (table is None and column is None):
+            raise InvalidParameterError(
+                "provide either a data vector or table= and column="
+            )
+        if data is None:
+            if self.session is None:
+                raise InvalidParameterError(
+                    "table/column queries need a server bound to a Session"
+                )
+            if table is None or column is None:
+                raise InvalidParameterError(
+                    "table queries need both table= and column="
+                )
+            data = self.session.table(table).column(column)
+        data = np.asarray(data)
+        validate_topk_args(data, k)
+        return ServingRequest(
+            data=data, k=int(k), injector=faults.active_injector()
+        )
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                self._work_ready.wait_for(
+                    lambda: self._pending or self._closed
+                )
+                if not self._pending and self._closed:
+                    return
+                # Drain the whole backlog: everything that queued while the
+                # previous dispatch executed becomes batching material now.
+                drained = list(self._pending)
+                self._pending.clear()
+                self._in_flight += len(drained)
+                self.metrics.gauge("serving.queue_depth").set(0)
+            try:
+                planned = []
+                for request in drained:
+                    # A planning failure (no feasible algorithm for the
+                    # shape) fails that query's future, never the thread.
+                    try:
+                        self.batcher.plan(request)
+                    except Exception as error:  # noqa: BLE001
+                        self.metrics.counter("serving.failed").inc()
+                        if request.future is not None:
+                            request.future.set_exception(error)
+                        continue
+                    planned.append(request)
+                for group in self.batcher.group(planned):
+                    self._run_group(group)
+            finally:
+                with self._lock:
+                    self._in_flight -= len(drained)
+                    self._idle.notify_all()
+
+    def _run_group(self, group) -> None:
+        try:
+            outcomes = self.batcher.execute(group)
+        except Exception as error:  # noqa: BLE001 — delivered via futures
+            self.metrics.counter("serving.failed").inc(len(group))
+            for request in group:
+                if request.future is not None:
+                    request.future.set_exception(error)
+            return
+        self.metrics.counter("serving.completed").inc(len(group))
+        for request, outcome in zip(group, outcomes):
+            if request.future is not None:
+                request.future.set_result(outcome)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.plan_cache.enabled
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics (cache, batcher, admission)."""
+        with self._lock:
+            pending = len(self._pending)
+        return {
+            "pending": pending,
+            "max_pending": self.max_pending,
+            "submitted": self.metrics.value("serving.submitted") or 0.0,
+            "completed": self.metrics.value("serving.completed") or 0.0,
+            "rejected": self.metrics.value("serving.rejected") or 0.0,
+            "failed": self.metrics.value("serving.failed") or 0.0,
+            "plan_cache": self.plan_cache.stats(),
+            "batcher": self.batcher.stats(),
+        }

@@ -66,3 +66,62 @@ class TestCrossover:
             N, np.dtype(np.float32), BUCKET_KILLER
         )
         assert crossover is None
+
+
+class TestCrossoverRegressions:
+    """Pre-fix ``crossover_k`` costed bitonic before checking support (so an
+    unsupported configuration could raise) and returned the raw doubling
+    ``k`` even though ``effective_k = min(k, n)`` was what it compared."""
+
+    def test_unsupported_bitonic_is_the_crossover_not_an_error(
+        self, device, monkeypatch
+    ):
+        """Support must be consulted *before* predict_seconds: a model whose
+        prediction raises on unsupported configurations (here: past k = 64)
+        must yield a crossover, not an error."""
+        from repro.costmodel.bitonic_model import BitonicModel
+        from repro.errors import ResourceExhaustedError
+
+        def supports(self, n, k, dtype):
+            return k <= 64
+
+        original = BitonicModel.predict_seconds
+
+        def predict(self, n, k, dtype=np.dtype(np.float32), profile=None):
+            if k > 64:
+                raise ResourceExhaustedError(
+                    f"bitonic cannot cost unsupported k = {k}"
+                )
+            return original(self, n, k, dtype)
+
+        monkeypatch.setattr(BitonicModel, "supports", supports)
+        monkeypatch.setattr(BitonicModel, "predict_seconds", predict)
+        crossover = TopKPlanner(device).crossover_k(N)
+        # Bitonic wins the supported range on floats, so the first
+        # unsupported k (128) is the crossover.
+        assert crossover == 128
+
+    def test_crossover_never_exceeds_n(self, device, monkeypatch):
+        """With n = 3 the doubling sequence reaches the win condition at
+        k = 4 but compares effective_k = 3; the *effective* value must be
+        returned, never a k that exceeds n."""
+        from repro.costmodel.bitonic_model import BitonicModel
+        from repro.costmodel.radix_model import RadixSelectModel
+
+        monkeypatch.setattr(
+            BitonicModel, "predict_seconds", lambda self, n, k, *a, **kw: 1.0
+        )
+        monkeypatch.setattr(
+            RadixSelectModel,
+            "predict_seconds",
+            lambda self, n, k, *a, **kw: 0.0 if k >= 3 else 10.0,
+        )
+        crossover = TopKPlanner(device).crossover_k(3)
+        assert crossover == 3  # pre-fix: returned 4 > n
+
+    def test_crossover_on_tiny_inputs_is_valid(self, device):
+        """Whatever the models decide at tiny n, the returned k must be a
+        legal top-k parameter for that n."""
+        for n in (1, 2, 3, 5, 7):
+            crossover = TopKPlanner(device).crossover_k(n)
+            assert crossover is None or 1 <= crossover <= n

@@ -1,0 +1,92 @@
+"""Plan cache: memoization, LRU eviction, counters, disable switch."""
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.costmodel.base import get_profile
+from repro.errors import InvalidParameterError
+from repro.serving import PlanCache
+
+
+class TestMemoization:
+    def test_first_lookup_misses_then_hits(self, device):
+        cache = PlanCache(device=device)
+        first = cache.choose(4096, 16)
+        second = cache.choose(4096, 16)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_cached_plan_matches_fresh_planner(self, device):
+        cache = PlanCache(device=device)
+        cache.choose(1 << 16, 32)
+        cached = cache.choose(1 << 16, 32)
+        fresh = cache.planner.choose(1 << 16, 32, np.dtype(np.float32))
+        assert cached.algorithm == fresh.algorithm
+
+    def test_key_covers_every_decision_input(self, device):
+        cache = PlanCache(device=device)
+        cache.choose(4096, 16)
+        cache.choose(4096, 32)
+        cache.choose(8192, 16)
+        cache.choose(4096, 16, np.dtype(np.uint32))
+        cache.choose(4096, 16, profile=get_profile("uniform-uint"))
+        assert cache.misses == 5 and cache.hits == 0
+        assert len(cache) == 5
+
+    def test_dtype_spelling_normalized(self, device):
+        cache = PlanCache(device=device)
+        cache.choose(4096, 16, np.float32)
+        cache.choose(4096, 16, np.dtype(np.float32))
+        cache.choose(4096, 16, np.dtype("float32"))
+        assert cache.misses == 1 and cache.hits == 2
+
+
+class TestEviction:
+    def test_lru_evicts_the_coldest_shape(self, device):
+        cache = PlanCache(device=device, capacity=2)
+        cache.choose(1024, 8)
+        cache.choose(2048, 8)
+        cache.choose(1024, 8)  # refresh 1024 -> 2048 is now coldest
+        cache.choose(4096, 8)  # evicts 2048
+        assert cache.evictions == 1
+        assert cache.key(1024, 8, np.dtype(np.float32)) in cache
+        assert cache.key(2048, 8, np.dtype(np.float32)) not in cache
+        cache.choose(2048, 8)
+        assert cache.misses == 4
+
+    def test_capacity_must_be_positive(self, device):
+        with pytest.raises(InvalidParameterError):
+            PlanCache(device=device, capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_cache_always_replans(self, device):
+        cache = PlanCache(device=device, enabled=False)
+        cache.choose(4096, 16)
+        cache.choose(4096, 16)
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache) == 0
+
+
+class TestMetrics:
+    def test_counters_published_to_explicit_registry(self, device):
+        registry = obs.MetricsRegistry()
+        cache = PlanCache(device=device, capacity=1, metrics=registry)
+        cache.choose(1024, 8)
+        cache.choose(1024, 8)
+        cache.choose(2048, 8)
+        assert registry.value("serving.plan_cache.hits") == 1
+        assert registry.value("serving.plan_cache.misses") == 2
+        assert registry.value("serving.plan_cache.evictions") == 1
+        assert registry.value("serving.plan_cache.size") == 1
+
+    def test_counters_fall_back_to_active_registry(self, device):
+        observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+        cache = PlanCache(device=device)
+        with observation.activate():
+            cache.choose(1024, 8)
+            cache.choose(1024, 8)
+        assert observation.metrics.value("serving.plan_cache.hits") == 1
+        assert observation.metrics.value("serving.plan_cache.misses") == 1

@@ -70,6 +70,51 @@ class TestExplainCommand:
         assert "fused" in out
 
 
+class TestServeBenchCommand:
+    def test_small_workload_reports_and_passes(self, capsys):
+        code = main(
+            ["serve-bench", "--queries", "60", "--shapes", "2",
+             "--n", "128", "--k", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "bit-equal" in out
+
+    def test_json_report_and_baseline_round_trip(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_serving.json"
+        code = main(
+            ["serve-bench", "--queries", "60", "--shapes", "2",
+             "--n", "128", "--k", "4", "--json", "--out", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is True
+        assert payload["plan_cache"]["hit_rate"] > 0.9
+        assert json.loads(path.read_text()) == payload
+        # The run gates cleanly against its own baseline.
+        code = main(
+            ["serve-bench", "--queries", "60", "--shapes", "2",
+             "--n", "128", "--k", "4", "--baseline", str(path)]
+        )
+        assert code == 0
+
+    def test_ablation_flags(self, capsys):
+        code = main(
+            ["serve-bench", "--queries", "30", "--shapes", "2",
+             "--n", "128", "--k", "4", "--no-cache", "--no-batch", "--json"]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan_cache"]["hits"] == 0
+        assert payload["batcher"]["batches"] == 0
+        assert payload["identical"] is True
+
+
 class TestDispatch:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
