@@ -34,6 +34,14 @@ def _bitonic_sort_factory(device: DeviceSpec | None) -> TopKAlgorithm:
     return BitonicSortTopK(device)
 
 
+def _approx_bucket_factory(device: DeviceSpec | None) -> TopKAlgorithm:
+    # Default configuration; callers that planned a specific ApproxConfig
+    # instantiate ApproxBucketTopK directly instead of via the registry.
+    from repro.approx.bucketed import ApproxBucketTopK
+
+    return ApproxBucketTopK(device)
+
+
 _REGISTRY: dict[str, AlgorithmFactory] = {
     "sort": SortTopK,
     "per-thread": PerThreadTopK,
@@ -42,6 +50,7 @@ _REGISTRY: dict[str, AlgorithmFactory] = {
     "bucket-select": BucketSelectTopK,
     "bitonic": _bitonic_factory,
     "bitonic-sort": _bitonic_sort_factory,
+    "approx-bucket": _approx_bucket_factory,
 }
 
 #: The five algorithms compared in Section 6, in the paper's order.

@@ -1,0 +1,76 @@
+"""Dr. Top-k-style delegate pre-filter (Gaihre et al., SC 2021).
+
+Split the input into groups of ``group`` consecutive elements and reduce
+each group to its maximum — the group's *delegate*.  Any algorithm that
+selects the top-k **groups by delegate** and then finishes on only those
+groups' elements reads ``surviving_groups * group`` elements instead of n
+in its selection phase — the global-memory-traffic cut the paper reports.
+
+The *exact* filter here keeps every group whose delegate ties or beats
+the k-th largest delegate.  That is provably lossless: a group containing
+a top-k element has a delegate at least that element, hence at least the
+k-th overall value; and because at most k groups contain top-k elements,
+the k-th largest delegate cannot exceed the k-th overall value.  Ties are
+kept inclusively, so duplicates at the boundary never drop a group.
+
+The *approximate* variant (used by
+:class:`repro.approx.bucketed.ApproxBucketTopK` when
+``ApproxConfig.delegate_group`` is set) replaces the exact delegate
+selection with the bucketed selection, trading a quantified recall loss
+(:func:`repro.approx.recall.delegate_expected_recall`) for a single-pass
+filter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.keys import encode
+from repro.errors import InvalidParameterError
+
+
+def group_delegates(data: np.ndarray, group: int) -> np.ndarray:
+    """Order-preserving unsigned codes of each group's maximum.
+
+    Groups are runs of ``group`` consecutive elements (the coalesced
+    layout); a short final group is padded with the minimum code.
+    """
+    if group < 1:
+        raise InvalidParameterError(f"group must be at least 1, got {group}")
+    codes = encode(np.asarray(data))
+    num_groups = math.ceil(len(codes) / group)
+    padded = np.zeros(num_groups * group, dtype=codes.dtype)
+    padded[: len(codes)] = codes
+    return padded.reshape(num_groups, group).max(axis=1)
+
+
+def group_members(n: int, groups: np.ndarray, group: int) -> np.ndarray:
+    """Original element indices belonging to the given group ids."""
+    starts = groups.astype(np.int64) * group
+    members = (starts[:, None] + np.arange(group, dtype=np.int64)).ravel()
+    return members[members < n]
+
+
+def exact_delegate_filter(
+    data: np.ndarray, k: int, group: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lossless pre-filter: (surviving group ids, their element indices).
+
+    The surviving groups are guaranteed to contain every top-k element of
+    ``data``; ties with the k-th delegate are kept inclusively.
+    """
+    data = np.asarray(data)
+    n = len(data)
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"invalid filter: n = {n}, k = {k}")
+    delegates = group_delegates(data, group)
+    if len(delegates) <= k:
+        survivors = np.arange(len(delegates), dtype=np.int64)
+    else:
+        threshold = np.partition(delegates, len(delegates) - k)[
+            len(delegates) - k
+        ]
+        survivors = np.flatnonzero(delegates >= threshold).astype(np.int64)
+    return survivors, group_members(n, survivors, group)

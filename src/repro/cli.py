@@ -14,6 +14,7 @@ Examples::
     python -m repro profile --n 1048576 --k 32
     python -m repro chaos --seed 0 --trials 50
     python -m repro serve-bench --queries 1000 --shapes 4 --n 512 --k 8
+    python -m repro approx-bench --baseline benchmarks/baselines/BENCH_approx.json
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -169,6 +170,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--baseline", default=None,
         help="gate the run against a committed BENCH_serving.json baseline",
+    )
+
+    approx = commands.add_parser(
+        "approx-bench",
+        help="sweep the bucketed approximate top-k against the exact "
+             "bitonic plan: simulated speedup vs. measured recall",
+    )
+    approx.add_argument(
+        "--n", type=int, action="append", dest="ns", default=None,
+        help="modeled input size; repeatable (default: 2^20 and 2^24)",
+    )
+    approx.add_argument(
+        "--k", type=int, action="append", dest="ks", default=None,
+        help="result size; repeatable (default: 64 and 256)",
+    )
+    approx.add_argument(
+        "--buckets", type=int, action="append", default=None,
+        help="bucket count; repeatable; 0 means the planner default "
+             "(default: 0, 16, 64)",
+    )
+    approx.add_argument(
+        "--functional-cap", type=int, default=1 << 18,
+        help="functional array size cap (the trace still models --n)",
+    )
+    approx.add_argument("--seed", type=int, default=0)
+    approx.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    approx.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    approx.add_argument("--out", default=None,
+                        help="also write the JSON report to this path")
+    approx.add_argument(
+        "--baseline", default=None,
+        help="gate the run against a committed BENCH_approx.json baseline",
     )
     return parser
 
@@ -346,6 +384,54 @@ def _command_serve_bench(arguments) -> int:
     return 0
 
 
+def _command_approx_bench(arguments) -> int:
+    import json
+
+    from repro.approx import (
+        ApproxWorkload,
+        check_baseline,
+        run_approx_benchmark,
+    )
+
+    defaults = ApproxWorkload()
+    report = run_approx_benchmark(
+        ApproxWorkload(
+            ns=tuple(arguments.ns) if arguments.ns else defaults.ns,
+            ks=tuple(arguments.ks) if arguments.ks else defaults.ks,
+            buckets=(
+                tuple(arguments.buckets)
+                if arguments.buckets
+                else defaults.buckets
+            ),
+            functional_cap=arguments.functional_cap,
+            seed=arguments.seed,
+        ),
+        device=get_device(arguments.device),
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    status = 0
+    if report.headline is not None and not report.passed:
+        print("error: the headline speedup/recall gate failed", file=sys.stderr)
+        status = 1
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"baseline regression: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -364,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_chaos(arguments)
         if arguments.command == "serve-bench":
             return _command_serve_bench(arguments)
+        if arguments.command == "approx-bench":
+            return _command_approx_bench(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

@@ -35,6 +35,12 @@ class PlanChoice:
     #: Candidates discarded because they are infeasible for this
     #: configuration (the per-thread heap past its shared-memory limit).
     infeasible: tuple[str, ...] = ()
+    #: The caller's minimum acceptable recall; 1.0 means exact-only.
+    recall_target: float = 1.0
+    #: Configuration of the chosen approximate plan, None for exact plans.
+    approx_config: "object | None" = None
+    #: Analytic expected recall of the chosen plan (1.0 for exact plans).
+    expected_recall: float = 1.0
 
     @property
     def predicted_ms(self) -> float:
@@ -65,11 +71,24 @@ class TopKPlanner:
         k: int,
         dtype: np.dtype = np.dtype(np.float32),
         profile: WorkloadProfile = UNIFORM_FLOAT,
+        recall_target: float = 1.0,
     ) -> PlanChoice:
-        """Rank all feasible algorithms and return the cheapest."""
+        """Rank all feasible algorithms and return the cheapest.
+
+        ``recall_target`` below 1.0 additionally lets the planner consider
+        the bucketed approximate operator: it is chosen iff a configuration
+        exists whose analytic expected recall meets the target *and* whose
+        predicted time beats every exact algorithm.  At the default 1.0 the
+        approximate model is never even constructed — the decision is
+        bit-identical to the exact-only planner.
+        """
         if n <= 0 or k <= 0 or k > n:
             raise InvalidParameterError(
                 f"invalid top-k configuration: n = {n}, k = {k}"
+            )
+        if not 0.0 < recall_target <= 1.0:
+            raise InvalidParameterError(
+                f"recall_target must be in (0, 1], got {recall_target}"
             )
         dtype = np.dtype(dtype)
         with obs.span(
@@ -103,6 +122,19 @@ class TopKPlanner:
                 )
             ranking.sort(key=lambda item: item[1])
             best_name, best_time = ranking[0]
+            approx_config = None
+            plan_recall = 1.0
+            if recall_target < 1.0:
+                from repro.costmodel.approx_model import choose_config
+
+                approx = choose_config(
+                    n, k, recall_target, dtype, self.device, profile
+                )
+                if approx is not None and approx[1] < best_time:
+                    approx_config, approx_time, plan_recall = approx
+                    best_name = "approx-bucket"
+                    best_time = approx_time
+                    ranking.insert(0, (best_name, best_time))
             span.set(
                 algorithm=best_name,
                 predicted_ms=best_time * 1e3,
@@ -119,6 +151,9 @@ class TopKPlanner:
             predicted_seconds=best_time,
             candidates=tuple(ranking),
             infeasible=tuple(infeasible),
+            recall_target=recall_target,
+            approx_config=approx_config,
+            expected_recall=plan_recall,
         )
 
     def crossover_k(

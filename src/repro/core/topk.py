@@ -44,6 +44,7 @@ def topk(
     device: DeviceSpec | None = None,
     model_n: int | None = None,
     profile: WorkloadProfile = UNIFORM_FLOAT,
+    recall_target: float = 1.0,
 ) -> TopKResult:
     """Find the k largest (or smallest) elements of ``values``.
 
@@ -67,6 +68,12 @@ def topk(
         benchmarks pass the paper's 2^29).
     profile:
         Workload statistics for the "auto" planner.
+    recall_target:
+        Minimum acceptable recall for the "auto" planner.  The default 1.0
+        restricts planning to the exact algorithms (bit-identical to the
+        pre-approximate behaviour); below 1.0 the planner may pick the
+        bucketed approximate operator when its analytic expected recall
+        meets the target and its predicted time beats every exact plan.
 
     Returns
     -------
@@ -85,9 +92,14 @@ def topk(
         requested_algorithm=algorithm,
         device=device.name,
     ) as span:
+        approx_config = None
         if algorithm == "auto":
-            choice = TopKPlanner(device).choose(len(values), k, values.dtype, profile)
+            choice = TopKPlanner(device).choose(
+                len(values), k, values.dtype, profile,
+                recall_target=recall_target,
+            )
             candidates = choice.fallback_chain()
+            approx_config = choice.approx_config
         else:
             candidates = [algorithm]
 
@@ -95,7 +107,13 @@ def topk(
         result = None
         for position, name in enumerate(candidates):
             try:
-                result = create(name, device).run(keys, k, model_n=model_n)
+                if name == "approx-bucket" and approx_config is not None:
+                    from repro.approx.bucketed import ApproxBucketTopK
+
+                    runner = ApproxBucketTopK(device, config=approx_config)
+                else:
+                    runner = create(name, device)
+                result = runner.run(keys, k, model_n=model_n)
                 break
             except ResourceExhaustedError:
                 # The cost model predicted this candidate would fit but the

@@ -10,6 +10,7 @@ from repro.costmodel.base import (
     WorkloadProfile,
     get_profile,
 )
+from repro.costmodel.approx_model import ApproxTopKModel, choose_config
 from repro.costmodel.bitonic_model import BitonicModel
 from repro.costmodel.other_models import (
     BucketSelectModel,
@@ -32,6 +33,8 @@ __all__ = [
     "CostModel",
     "WorkloadProfile",
     "get_profile",
+    "ApproxTopKModel",
+    "choose_config",
     "BitonicModel",
     "BucketSelectModel",
     "PerThreadModel",

@@ -83,15 +83,21 @@ class QueryExecutor:
         device: DeviceSpec | None = None,
         flags: OptimizationFlags = FULL,
         fault_retries: int = FUNCTIONAL_RETRIES,
+        recall_target: float = 1.0,
     ):
         if fault_retries < 0:
             raise InvalidParameterError(
                 f"fault_retries must be non-negative, got {fault_retries}"
             )
+        if not 0.0 < recall_target <= 1.0:
+            raise InvalidParameterError(
+                f"recall_target must be in (0, 1], got {recall_target}"
+            )
         self.table = table
         self.device = device or get_device()
         self.flags = flags
         self.fault_retries = fault_retries
+        self.recall_target = recall_target
 
     def sql(
         self,
@@ -186,6 +192,37 @@ class QueryExecutor:
         candidate_rows = np.flatnonzero(mask)
         k = min(query.limit, len(candidate_rows))
         keys = query.order_by_keys or [(query.order_by, query.order_desc)]
+        selectivity = len(candidate_rows) / max(1, len(self.table))
+        matched_model = max(1, int(round(model_rows * selectivity)))
+
+        # An APPROX_TOPK clause (or the session's recall_target) opts the
+        # selection into the bucketed approximate operator when the cost
+        # model finds a configuration meeting the target that beats the
+        # exact plan at model scale.  Multi-key orders and the full-sort
+        # baseline strategy always stay exact.
+        effective_recall = (
+            query.recall_target
+            if query.recall_target is not None
+            else self.recall_target
+        )
+        approx_plan = None
+        if (
+            effective_recall < 1.0
+            and k > 0
+            and len(keys) == 1
+            and strategy in ("topk", "fused")
+        ):
+            from repro.costmodel.approx_model import choose_config
+
+            with faults.suspended():
+                approx_plan = choose_config(
+                    matched_model,
+                    k,
+                    effective_recall,
+                    np.dtype(np.float32),
+                    self.device,
+                )
+        approx_trace: ExecutionTrace | None = None
         if k <= 0:
             result_rows = np.empty(0, dtype=np.int64)
         elif len(keys) == 1:
@@ -193,9 +230,15 @@ class QueryExecutor:
             if not keys[0][1]:
                 ranks = -ranks
             candidate_ranks = ranks[mask].astype(np.float32)
-            result_rows = candidate_rows[
-                self._functional_topk(candidate_ranks, k)
-            ]
+            if approx_plan is not None:
+                order, approx_trace = self._functional_approx_topk(
+                    candidate_ranks, k, approx_plan[0], matched_model
+                )
+                result_rows = candidate_rows[order]
+            else:
+                result_rows = candidate_rows[
+                    self._functional_topk(candidate_ranks, k)
+                ]
         else:
             # Multi-key lexicographic order (the KKV kernel of Section
             # 6.6); functional selection via a stable multi-key sort.
@@ -207,14 +250,18 @@ class QueryExecutor:
             result_rows = candidate_rows[order]
         columns = self._project(query, result_rows)
 
-        selectivity = len(candidate_rows) / max(1, len(self.table))
-        matched_model = max(1, int(round(model_rows * selectivity)))
         # Trace construction is accounting, not device activity; the
         # query's injectable execution is the functional selection above.
         with faults.suspended():
-            trace = self._topk_trace(
-                query, strategy, model_rows, matched_model, k
-            )
+            if approx_trace is not None:
+                trace = self._approx_topk_trace(
+                    query, strategy, model_rows, matched_model, approx_trace
+                )
+                trace.notes["approx.recall_target"] = effective_recall
+            else:
+                trace = self._topk_trace(
+                    query, strategy, model_rows, matched_model, k
+                )
         return QueryResult(
             columns, trace, strategy, self.device, len(self.table), len(result_rows)
         )
@@ -280,6 +327,89 @@ class QueryExecutor:
         gather = trace.launch("gather-topk")
         gather.add_global_read(float(max(k, 1)) * candidate_bytes_per_row)
         return trace
+
+    def _approx_topk_trace(
+        self,
+        query: Query,
+        strategy: str,
+        model_rows: int,
+        matched_rows: int,
+        approx_trace: ExecutionTrace,
+    ) -> ExecutionTrace:
+        """Embed the approximate operator's trace in the query's plan.
+
+        The operator modeled a bare float32 selection over the matched
+        rows; the query-level rewrite mirrors :meth:`_topk_trace`: under
+        "fused" the bucket scan reads the base columns directly (the
+        Section 5 buffer-filler), under "topk" a filter/projection kernel
+        materializes (rank, id) candidate rows first.
+        """
+        scan_width = self._scan_width(query)
+        candidate_bytes_per_row = CANDIDATE_ROW_BYTES
+        trace = ExecutionTrace()
+        first = approx_trace.kernels[0]
+        if strategy == "fused":
+            first.name = f"fused-{first.name}"
+            first.global_bytes_read = float(model_rows) * scan_width
+            first.add_shared(float(model_rows) * 4.0)
+        else:
+            has_filter = query.where is not None
+            materialize = trace.launch(
+                "filter-project" if has_filter else "project"
+            )
+            materialize.add_global_read(float(model_rows) * scan_width)
+            materialize.add_global_write(
+                float(matched_rows) * candidate_bytes_per_row
+            )
+            first.global_bytes_read = (
+                float(matched_rows) * candidate_bytes_per_row
+            )
+        trace.extend(approx_trace)
+        trace.notes["selectivity"] = matched_rows / model_rows
+        return trace
+
+    def _functional_approx_topk(
+        self,
+        ranks: np.ndarray,
+        k: int,
+        config,
+        matched_model: int,
+    ) -> tuple[np.ndarray, ExecutionTrace | None]:
+        """Approximate selection with the same fault posture as
+        :meth:`_functional_topk`: bounded retries, then the CPU oracle
+        (whose exact answer is accounted with the exact trace — a None
+        return signals the caller to fall back to exact accounting)."""
+        from repro.approx.bucketed import ApproxBucketTopK
+
+        retries = 0
+        outcome: tuple[np.ndarray, ExecutionTrace | None] | None = None
+        with obs.span(
+            "phase:functional-approx-topk",
+            category="phase",
+            candidates=len(ranks),
+            buckets=config.buckets,
+        ):
+            with obs.suspended():
+                for attempt in range(self.fault_retries + 1):
+                    try:
+                        result = ApproxBucketTopK(
+                            self.device, config=config, flags=self.flags
+                        ).run(ranks, k, model_n=matched_model)
+                        outcome = (result.indices, result.trace)
+                        break
+                    except FaultError:
+                        retries += 1
+                if outcome is None:
+                    with faults.suspended():
+                        _, indices = reference_topk(ranks, k)
+                    outcome = (indices, None)
+        registry = obs.active_metrics()
+        if registry is not None:
+            if retries:
+                registry.counter("engine.fault_retries").inc(retries)
+            if outcome[1] is None:
+                registry.counter("engine.cpu_fallbacks").inc()
+        return outcome
 
     # -- GROUP BY ... ORDER BY count LIMIT k ----------------------------
 

@@ -22,7 +22,7 @@ from repro.engine.executor import (
 )
 from repro.engine.sql import parse
 from repro.engine.table import Table
-from repro.errors import UnsupportedQueryError
+from repro.errors import InvalidParameterError, UnsupportedQueryError
 from repro.gpu.device import DeviceSpec, get_device
 
 
@@ -49,10 +49,18 @@ class Session:
         flags: OptimizationFlags = FULL,
         trace: bool = False,
         fault_retries: int = FUNCTIONAL_RETRIES,
+        recall_target: float = 1.0,
     ):
         self.device = device or get_device()
         self.flags = flags
         self.fault_retries = fault_retries
+        if not 0.0 < recall_target <= 1.0:
+            raise InvalidParameterError(
+                f"recall_target must be in (0, 1], got {recall_target}"
+            )
+        #: Session-wide default recall floor; queries override it with an
+        #: explicit APPROX_TOPK(r) clause.  1.0 keeps every query exact.
+        self.recall_target = recall_target
         self._tables: dict[str, Table] = {}
         self.observation: obs.Observation | None = (
             obs.Observation(obs.Tracer(), obs.MetricsRegistry()) if trace else None
@@ -106,6 +114,7 @@ class Session:
                 self.device,
                 self.flags,
                 fault_retries=self.fault_retries,
+                recall_target=self.recall_target,
             )
             return executor.execute(query, strategy, model_rows)
 
@@ -121,6 +130,7 @@ class Session:
                 self.device,
                 self.flags,
                 fault_retries=self.fault_retries,
+                recall_target=self.recall_target,
             )
             return explain_query(executor, text, model_rows)
 

@@ -7,6 +7,7 @@ Grammar (case-insensitive keywords)::
                  [GROUP BY column_list]
                  [ORDER BY expression [ASC | DESC] (, expression [ASC | DESC])*]
                  [LIMIT integer]
+                 [APPROX_TOPK '(' number ')']
     select    := expression [AS name]
                | COUNT([*]) [AS name]
                | (SUM | MIN | MAX | AVG) '(' expression ')' [AS name]
@@ -62,6 +63,7 @@ _KEYWORDS = {
     "min",
     "max",
     "avg",
+    "approx_topk",
 }
 
 
@@ -107,6 +109,9 @@ class Query:
     order_desc: bool = False
     limit: int | None = None
     order_by_keys: list[tuple[Expression, bool]] = field(default_factory=list)
+    #: Minimum acceptable recall from an APPROX_TOPK(r) clause; None means
+    #: the query did not opt in (the session default applies).
+    recall_target: float | None = None
 
 
 class _Tokens:
@@ -167,6 +172,7 @@ def parse(sql: str) -> Query:
     group_by: list[str] = []
     order_by_keys: list[tuple] = []
     limit = None
+    recall_target = None
     while tokens.peek() is not None:
         keyword = tokens.next().lower()
         if keyword == "where":
@@ -193,6 +199,20 @@ def parse(sql: str) -> Query:
                 raise SqlSyntaxError(
                     f"LIMIT expects an integer, got {token!r}"
                 ) from None
+        elif keyword == "approx_topk":
+            tokens.expect("(")
+            token = tokens.next()
+            try:
+                recall_target = float(token)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"APPROX_TOPK expects a number, got {token!r}"
+                ) from None
+            if not 0.0 < recall_target <= 1.0:
+                raise SqlSyntaxError(
+                    f"APPROX_TOPK recall target must be in (0, 1], got {token}"
+                )
+            tokens.expect(")")
         else:
             raise SqlSyntaxError(f"unexpected token {keyword!r}")
     first_key = order_by_keys[0] if order_by_keys else (None, False)
@@ -205,6 +225,7 @@ def parse(sql: str) -> Query:
         order_desc=first_key[1],
         limit=limit,
         order_by_keys=order_by_keys,
+        recall_target=recall_target,
     )
 
 

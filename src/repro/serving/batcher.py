@@ -64,6 +64,11 @@ class BatchKey:
     n: int
     dtype: str
     network_k: int
+    #: Recall floor and planned approximate configuration: queries with
+    #: different recall expectations (or approx plans) never share a
+    #: launch, even though only exact bitonic plans batch today.
+    recall_target: float = 1.0
+    approx: tuple | None = None
 
 
 @dataclass
@@ -80,10 +85,21 @@ class ServingRequest:
     injector: object | None = None
     #: Filled by the dispatcher from the plan cache.
     plan: PlanChoice | None = None
+    #: Minimum acceptable recall for this query (1.0 = exact only).
+    recall_target: float = 1.0
 
     @property
     def key(self) -> BatchKey:
-        return BatchKey(len(self.data), str(self.data.dtype), network_k(self.k))
+        approx = None
+        if self.plan is not None and self.plan.approx_config is not None:
+            approx = self.plan.approx_config.key()
+        return BatchKey(
+            len(self.data),
+            str(self.data.dtype),
+            network_k(self.k),
+            float(self.recall_target),
+            approx,
+        )
 
     @property
     def batchable(self) -> bool:
@@ -153,7 +169,11 @@ class CrossQueryBatcher:
     def plan(self, request: ServingRequest) -> PlanChoice:
         """Attach the (cached) plan for the request's shape."""
         request.plan = self.plan_cache.choose(
-            len(request.data), request.k, request.data.dtype, self.profile
+            len(request.data),
+            request.k,
+            request.data.dtype,
+            self.profile,
+            recall_target=request.recall_target,
         )
         return request.plan
 
@@ -242,9 +262,20 @@ class CrossQueryBatcher:
 
     def _execute_single(self, request: ServingRequest) -> QueryOutcome:
         try:
-            result = create(request.plan.algorithm, self.device).run(
-                request.data, request.k
-            )
+            if (
+                request.plan.algorithm == "approx-bucket"
+                and request.plan.approx_config is not None
+            ):
+                from repro.approx.bucketed import ApproxBucketTopK
+
+                runner = ApproxBucketTopK(
+                    self.device,
+                    config=request.plan.approx_config,
+                    flags=self.flags,
+                )
+            else:
+                runner = create(request.plan.algorithm, self.device)
+            result = runner.run(request.data, request.k)
         except (FaultError, ResourceExhaustedError):
             return self._execute_resilient(request)
         simulated_ms = trace_time(result.trace, self.device).total_ms

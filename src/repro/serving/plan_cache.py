@@ -2,7 +2,8 @@
 
 A production serving layer sees millions of queries but only a handful of
 distinct *shapes* — the planner's decision depends only on
-``(n, k, dtype, profile, device)``, never on the payload bytes, so its
+``(n, k, dtype, profile, device, recall_target)``, never on the payload
+bytes, so its
 cost-model evaluation (which builds full kernel traces for every candidate
 algorithm) is pure and cacheable.  :class:`PlanCache` wraps a planner with
 an LRU map over that key and publishes hit/miss/eviction counters to the
@@ -32,7 +33,7 @@ from repro.gpu.device import DeviceSpec
 #: so the default bounds memory while covering any realistic shape mix.
 DEFAULT_CAPACITY = 256
 
-PlanKey = tuple[int, int, str, str, str]
+PlanKey = tuple[int, int, str, str, str, float]
 
 
 class PlanCache:
@@ -73,6 +74,7 @@ class PlanCache:
         k: int,
         dtype: np.dtype,
         profile: WorkloadProfile = UNIFORM_FLOAT,
+        recall_target: float = 1.0,
     ) -> PlanKey:
         """The memoization key: everything the planner's decision reads."""
         return (
@@ -81,6 +83,7 @@ class PlanCache:
             str(np.dtype(dtype)),
             profile.name,
             self.planner.device.name,
+            float(recall_target),
         )
 
     # -- the memoized call ------------------------------------------------
@@ -91,9 +94,10 @@ class PlanCache:
         k: int,
         dtype: np.dtype = np.dtype(np.float32),
         profile: WorkloadProfile = UNIFORM_FLOAT,
+        recall_target: float = 1.0,
     ) -> PlanChoice:
         """:meth:`TopKPlanner.choose`, paid once per distinct shape."""
-        key = self.key(n, k, dtype, profile)
+        key = self.key(n, k, dtype, profile, recall_target)
         with self._lock:
             if self.enabled:
                 choice = self._entries.get(key)
@@ -104,7 +108,9 @@ class PlanCache:
                     return choice
             # Planning inside the lock keeps a burst of identical shapes
             # from planning the same key concurrently — the whole point.
-            choice = self.planner.choose(n, k, dtype, profile)
+            choice = self.planner.choose(
+                n, k, dtype, profile, recall_target=recall_target
+            )
             self.misses += 1
             self._publish("misses")
             if self.enabled:

@@ -169,6 +169,7 @@ class TopKServer:
         k: int = 1,
         table: str | None = None,
         column: str | None = None,
+        recall_target: float = 1.0,
     ) -> Future:
         """Enqueue one top-k query; returns a Future of
         :class:`~repro.serving.batcher.QueryOutcome`.
@@ -177,10 +178,16 @@ class TopKServer:
         through the server's session — the ``ORDER BY column DESC LIMIT k``
         shape) must be provided.
 
+        ``recall_target`` below 1.0 lets the plan cache route this query
+        to the bucketed approximate operator when the cost model finds a
+        configuration meeting the target; the plan-cache key and batch
+        grouping both include it, so exact and approximate traffic never
+        mix.
+
         Raises :class:`~repro.errors.ResourceExhaustedError` when the
         server is over its ``max_pending`` admission bound.
         """
-        request = self._make_request(data, k, table, column)
+        request = self._make_request(data, k, table, column, recall_target)
         future: Future = Future()
         request.future = future
         with self._lock:
@@ -210,9 +217,10 @@ class TopKServer:
         k: int = 1,
         table: str | None = None,
         column: str | None = None,
+        recall_target: float = 1.0,
     ) -> QueryOutcome:
         """Synchronous convenience: submit and wait for the answer."""
-        return self.submit(data, k, table, column).result()
+        return self.submit(data, k, table, column, recall_target).result()
 
     def flush(self) -> None:
         """Block until every submitted query has been resolved."""
@@ -229,10 +237,15 @@ class TopKServer:
         k: int,
         table: str | None,
         column: str | None,
+        recall_target: float = 1.0,
     ) -> ServingRequest:
         if (data is None) == (table is None and column is None):
             raise InvalidParameterError(
                 "provide either a data vector or table= and column="
+            )
+        if not 0.0 < recall_target <= 1.0:
+            raise InvalidParameterError(
+                f"recall_target must be in (0, 1], got {recall_target}"
             )
         if data is None:
             if self.session is None:
@@ -247,7 +260,10 @@ class TopKServer:
         data = np.asarray(data)
         validate_topk_args(data, k)
         return ServingRequest(
-            data=data, k=int(k), injector=faults.active_injector()
+            data=data,
+            k=int(k),
+            injector=faults.active_injector(),
+            recall_target=float(recall_target),
         )
 
     # -- dispatch ---------------------------------------------------------

@@ -1,0 +1,107 @@
+"""SQL surface: the APPROX_TOPK clause and the session-wide default."""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import Session
+from repro.engine.sql import parse
+from repro.engine.twitter import generate_tweets
+from repro.errors import InvalidParameterError, SqlSyntaxError
+
+QUERY = (
+    "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 50"
+)
+
+
+class TestParsing:
+    def test_clause_sets_the_target(self):
+        query = parse(QUERY + " APPROX_TOPK(0.9)")
+        assert query.recall_target == 0.9
+
+    def test_absent_clause_leaves_target_unset(self):
+        assert parse(QUERY).recall_target is None
+
+    def test_case_insensitive(self):
+        assert parse(QUERY + " approx_topk(0.95)").recall_target == 0.95
+
+    @pytest.mark.parametrize("literal", ["0", "0.0", "1.5", "-0.5"])
+    def test_out_of_range_target_rejected(self, literal):
+        with pytest.raises(SqlSyntaxError):
+            parse(QUERY + f" APPROX_TOPK({literal})")
+
+    def test_non_numeric_target_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse(QUERY + " APPROX_TOPK(high)")
+
+
+class TestExecution:
+    @pytest.fixture()
+    def session(self, device):
+        session = Session(device)
+        session.register(generate_tweets(1 << 14, seed=3))
+        return session
+
+    def test_approx_clause_runs_the_approx_plan(self, session):
+        result = session.sql(
+            QUERY + " APPROX_TOPK(0.95)", model_rows=50_000_000
+        )
+        assert len(result.columns["id"]) == 50
+        notes = result.trace.notes
+        assert notes["approx.recall_target"] == 0.95
+        assert any(
+            kernel.name.endswith("approx-bucket-scan")
+            for kernel in result.trace.kernels
+        )
+
+    def test_exact_query_carries_no_approx_kernels(self, session):
+        result = session.sql(QUERY, model_rows=50_000_000)
+        assert "approx.recall_target" not in result.trace.notes
+        assert all(
+            "approx" not in kernel.name for kernel in result.trace.kernels
+        )
+
+    def test_approx_is_simulated_faster_at_scale(self, session):
+        exact = session.sql(QUERY, model_rows=50_000_000)
+        approx = session.sql(
+            QUERY + " APPROX_TOPK(0.99)", model_rows=50_000_000
+        )
+        assert approx.simulated_ms() < exact.simulated_ms()
+
+    def test_answers_match_on_this_workload(self, session):
+        # At the functional table size the candidate set covers the true
+        # top 50, so the ids agree as sets with the exact plan.
+        exact = session.sql(QUERY, model_rows=50_000_000)
+        approx = session.sql(
+            QUERY + " APPROX_TOPK(0.99)", model_rows=50_000_000
+        )
+        exact_ids = set(exact.columns["id"].tolist())
+        approx_ids = set(approx.columns["id"].tolist())
+        assert len(approx_ids & exact_ids) >= 49
+
+    def test_session_default_applies_to_every_query(self, device):
+        session = Session(device, recall_target=0.95)
+        session.register(generate_tweets(1 << 14, seed=3))
+        result = session.sql(QUERY, model_rows=50_000_000)
+        assert result.trace.notes["approx.recall_target"] == 0.95
+
+    def test_per_query_clause_overrides_session_default(self, device):
+        session = Session(device, recall_target=0.95)
+        session.register(generate_tweets(1 << 14, seed=3))
+        result = session.sql(
+            QUERY + " APPROX_TOPK(0.9)", model_rows=50_000_000
+        )
+        assert result.trace.notes["approx.recall_target"] == 0.9
+
+    def test_invalid_session_default_raises(self, device):
+        with pytest.raises(InvalidParameterError):
+            Session(device, recall_target=0.0)
+
+    def test_target_one_is_bit_identical_to_default(self, device):
+        exact_session = Session(device)
+        exact_session.register(generate_tweets(1 << 13, seed=5))
+        pinned_session = Session(device, recall_target=1.0)
+        pinned_session.register(generate_tweets(1 << 13, seed=5))
+        exact = exact_session.sql(QUERY, model_rows=10_000_000)
+        pinned = pinned_session.sql(QUERY, model_rows=10_000_000)
+        assert np.array_equal(exact.columns["id"], pinned.columns["id"])
+        assert exact.simulated_ms() == pinned.simulated_ms()

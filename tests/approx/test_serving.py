@@ -1,0 +1,84 @@
+"""Serving integration: recall_target in plan-cache keys, batch grouping,
+and end-to-end approximate serving."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serving import PlanCache, TopKServer
+from repro.serving.batcher import ServingRequest
+
+N, K = 1 << 16, 64
+
+
+class TestPlanCacheKeys:
+    def test_recall_target_is_part_of_the_key(self, device):
+        cache = PlanCache(device=device)
+        cache.choose(N, K, np.dtype(np.float32), recall_target=1.0)
+        cache.choose(N, K, np.dtype(np.float32), recall_target=0.95)
+        assert cache.misses == 2 and cache.hits == 0
+        cache.choose(N, K, np.dtype(np.float32), recall_target=0.95)
+        assert cache.hits == 1
+
+    def test_cached_approx_plan_keeps_its_config(self, device):
+        cache = PlanCache(device=device)
+        first = cache.choose(N, K, np.dtype(np.float32), recall_target=0.95)
+        again = cache.choose(N, K, np.dtype(np.float32), recall_target=0.95)
+        assert first is again
+        assert first.algorithm == "approx-bucket"
+        assert first.approx_config is not None
+
+
+class TestBatchGrouping:
+    def test_different_targets_never_share_a_group(self, rng, device):
+        data = rng.random(512).astype(np.float32)
+        exact = ServingRequest(data=data, k=8)
+        relaxed = ServingRequest(data=data, k=8, recall_target=0.95)
+        assert exact.key != relaxed.key
+
+    def test_same_target_shares_a_key(self, rng):
+        data = rng.random(512).astype(np.float32)
+        first = ServingRequest(data=data, k=8, recall_target=0.95)
+        second = ServingRequest(data=data, k=8, recall_target=0.95)
+        assert first.key == second.key
+
+
+class TestServer:
+    def test_submit_validates_the_target(self, rng, device):
+        data = rng.random(1024).astype(np.float32)
+        with TopKServer(device=device) as server:
+            with pytest.raises(InvalidParameterError):
+                server.submit(data, 8, recall_target=1.5)
+
+    def test_relaxed_query_is_served_approximately(self, rng, device):
+        data = rng.random(N).astype(np.float32)
+        with TopKServer(device=device) as server:
+            outcome = server.query(data, K, recall_target=0.95)
+        assert outcome.algorithm == "approx-bucket"
+        assert outcome.plan.approx_config is not None
+        assert outcome.plan.expected_recall >= 0.95
+
+    def test_exact_query_stays_bit_equal(self, rng, device):
+        from repro.core.topk import topk
+
+        data = rng.random(N).astype(np.float32)
+        solo = topk(data, K, device=device)
+        with TopKServer(device=device) as server:
+            outcome = server.query(data, K)
+        assert np.array_equal(outcome.values, solo.values)
+        assert np.array_equal(outcome.indices, solo.indices)
+
+    def test_mixed_stream_is_partitioned_by_target(self, rng, device):
+        data = rng.random(N).astype(np.float32)
+        with TopKServer(device=device, auto_start=False) as server:
+            futures = [
+                server.submit(data, K, recall_target=target)
+                for target in (1.0, 0.95, 1.0, 0.95)
+            ]
+            server.start()
+            outcomes = [future.result() for future in futures]
+        algorithms = [outcome.algorithm for outcome in outcomes]
+        assert algorithms[0] == algorithms[2] != "approx-bucket"
+        assert algorithms[1] == algorithms[3] == "approx-bucket"
+        # The approximate answers are simulated-cheaper than the exact ones.
+        assert outcomes[1].simulated_ms < outcomes[0].simulated_ms

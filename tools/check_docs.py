@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Documentation checker behind the CI ``docs`` job.
+
+Three families of checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** — every intra-repo markdown link ``[text](target)`` must
+   resolve to an existing file or directory (anchors are stripped;
+   ``http(s)``/``mailto`` targets are skipped).
+2. **CLI examples** — every ``python -m repro ...`` line inside a fenced
+   ``bash`` block must name a real subcommand: the named command is
+   smoke-run with ``--help`` and must exit 0.  This catches renamed or
+   removed commands without paying for full example runs.
+3. **Coverage** — ``README.md`` must link every file under ``docs/``
+   (the docs index stays complete), and ``docs/architecture.md`` must
+   mention every package under ``src/repro/`` (the module table stays
+   complete).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 = clean; 1 = problems (one per line on stderr).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — target captured up to the closing parenthesis.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+#: Fenced code blocks with their info string.
+_FENCE = re.compile(r"^```(\w*)\s*$")
+#: Targets that are not repository paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+def _label(path: Path) -> str:
+    """Repo-relative label when possible (tests pass tmp paths)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def _iter_links(text: str):
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_links(paths: list[Path] | None = None) -> list[str]:
+    """Every relative link in every document resolves on disk."""
+    problems = []
+    for path in paths or doc_files():
+        base = path.parent
+        for target in _iter_links(path.read_text()):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (base / relative).exists():
+                problems.append(
+                    f"{_label(path)}: broken link -> {target}"
+                )
+    return problems
+
+
+def _bash_blocks(text: str) -> list[str]:
+    """The concatenated lines of every fenced ``bash``/``sh`` block."""
+    lines, in_block, block_lang = [], False, ""
+    for line in text.splitlines():
+        fence = _FENCE.match(line)
+        if fence:
+            in_block = not in_block
+            block_lang = fence.group(1).lower()
+            continue
+        if in_block and block_lang in ("bash", "sh", "shell", "console"):
+            lines.append(line.strip())
+    return lines
+
+
+def cli_invocations(paths: list[Path] | None = None) -> list[tuple[str, str]]:
+    """All ``python -m repro...`` invocations found in bash blocks, as
+    ``(document, module-and-subcommand)`` pairs."""
+    found = []
+    pattern = re.compile(r"python -m (repro[.\w]*)(?:\s+([\w-]+))?")
+    for path in paths or doc_files():
+        for line in _bash_blocks(path.read_text()):
+            match = pattern.search(line)
+            if not match:
+                continue
+            module, first_arg = match.group(1), match.group(2)
+            command = module
+            # A non-flag first token is a subcommand (repro topk, ...).
+            if first_arg and not first_arg.startswith("-"):
+                command = f"{module} {first_arg}"
+            found.append((_label(path), command))
+    return found
+
+
+def check_cli_examples(paths: list[Path] | None = None) -> list[str]:
+    """Smoke-run each distinct quoted CLI command with ``--help``."""
+    problems = []
+    seen: dict[str, bool] = {}
+    for document, command in cli_invocations(paths):
+        if command not in seen:
+            environment = dict(os.environ)
+            environment["PYTHONPATH"] = str(REPO_ROOT / "src")
+            completed = subprocess.run(
+                [sys.executable, "-m", *command.split(), "--help"],
+                capture_output=True,
+                cwd=REPO_ROOT,
+                env=environment,
+            )
+            seen[command] = completed.returncode == 0
+        if not seen[command]:
+            problems.append(
+                f"{document}: quoted command 'python -m {command}' does "
+                f"not answer --help"
+            )
+    return problems
+
+
+def check_docs_index() -> list[str]:
+    """README links every docs/*.md file."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    linked = {
+        target.split("#", 1)[0]
+        for target in _iter_links(readme)
+        if not target.startswith(_EXTERNAL)
+    }
+    problems = []
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        relative = f"docs/{doc.name}"
+        if relative not in linked and f"`{relative}`" not in readme:
+            problems.append(
+                f"README.md: docs index is missing a link to {relative}"
+            )
+    return problems
+
+
+def check_architecture_coverage() -> list[str]:
+    """docs/architecture.md mentions every src/repro/* package."""
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    if not architecture.exists():
+        return ["docs/architecture.md does not exist"]
+    text = architecture.read_text()
+    problems = []
+    for entry in sorted((REPO_ROOT / "src" / "repro").iterdir()):
+        if entry.name.startswith("_") or entry.name.endswith(".pyc"):
+            continue
+        name = entry.name if entry.is_dir() else entry.name.removesuffix(".py")
+        if entry.is_file() and not entry.name.endswith(".py"):
+            continue
+        if f"{name}/" not in text and f"{name}.py" not in text:
+            problems.append(
+                f"docs/architecture.md does not cover src/repro/{entry.name}"
+            )
+    return problems
+
+
+def run_all() -> list[str]:
+    return (
+        check_links()
+        + check_cli_examples()
+        + check_docs_index()
+        + check_architecture_coverage()
+    )
+
+
+def main() -> int:
+    problems = run_all()
+    for problem in problems:
+        print(f"docs: {problem}", file=sys.stderr)
+    if not problems:
+        checked = len(doc_files())
+        commands = {command for _, command in cli_invocations()}
+        print(
+            f"docs OK: {checked} documents, links resolve, "
+            f"{len(commands)} distinct CLI commands answer --help"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
