@@ -75,6 +75,44 @@ def create(name: str, device: DeviceSpec | None = None) -> TopKAlgorithm:
     return factory(device)
 
 
+def create_for_node(
+    node, device: DeviceSpec | None = None, flags=None
+) -> TopKAlgorithm:
+    """Resolve a physical-plan operator node to a kernel instance.
+
+    The registry's IR dispatch: :class:`~repro.plan.nodes.ApproxTopK`
+    nodes carry their full bucket configuration and map to the bucketed
+    operator; :class:`~repro.plan.nodes.TopK` nodes map through the name
+    registry, with the ``cpu-heap`` sentinel resolving to the hand-rolled
+    CPU priority queue (the terminal fallback stage, which needs no
+    working device).  ``flags`` are forwarded to kernels that take
+    bitonic optimization flags.
+    """
+    from repro.plan.nodes import CPU_FALLBACK, ApproxTopK, TopK
+
+    if isinstance(node, ApproxTopK):
+        from repro.approx.bucketed import ApproxBucketTopK
+        from repro.bitonic.optimizations import FULL
+
+        return ApproxBucketTopK(
+            device, config=node.config(), flags=flags if flags is not None else FULL
+        )
+    if not isinstance(node, TopK):
+        raise InvalidParameterError(
+            f"cannot bind a kernel to a {type(node).__name__} node; "
+            f"only TopK and ApproxTopK operators execute directly"
+        )
+    if node.algorithm == CPU_FALLBACK:
+        from repro.cpu.pq_topk import HandPqTopK
+
+        return HandPqTopK(device)
+    if node.algorithm == "bitonic" and flags is not None:
+        from repro.bitonic.topk import BitonicTopK
+
+        return BitonicTopK(device, flags)
+    return create(node.algorithm, device)
+
+
 def register(name: str, factory: AlgorithmFactory) -> None:
     """Register a custom algorithm (overwrites an existing name)."""
     _REGISTRY[name] = factory

@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="functional table size")
     explain.add_argument("--model-rows", type=int, default=250_000_000)
     explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the plan (with each strategy's physical plan tree) "
+             "as JSON instead of the rendered text",
+    )
 
     for name, help_text in [
         ("trace", "run a workload under tracing and export the trace"),
@@ -259,7 +264,12 @@ def _command_explain(arguments) -> int:
     session = Session()
     session.register(generate_tweets(arguments.rows, arguments.seed))
     plan = session.explain(arguments.sql, model_rows=arguments.model_rows)
-    print(plan.render())
+    if arguments.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.render())
     return 0
 
 

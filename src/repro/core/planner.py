@@ -12,8 +12,6 @@ the hundreds (k = 256 in the paper's measurements).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro import observability as obs
@@ -23,33 +21,9 @@ from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
 from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
+from repro.plan.plan import PlanChoice, TopKPlan
 
-
-@dataclass(frozen=True)
-class PlanChoice:
-    """The planner's decision with its full candidate ranking."""
-
-    algorithm: str
-    predicted_seconds: float
-    candidates: tuple[tuple[str, float], ...]
-    #: Candidates discarded because they are infeasible for this
-    #: configuration (the per-thread heap past its shared-memory limit).
-    infeasible: tuple[str, ...] = ()
-    #: The caller's minimum acceptable recall; 1.0 means exact-only.
-    recall_target: float = 1.0
-    #: Configuration of the chosen approximate plan, None for exact plans.
-    approx_config: "object | None" = None
-    #: Analytic expected recall of the chosen plan (1.0 for exact plans).
-    expected_recall: float = 1.0
-
-    @property
-    def predicted_ms(self) -> float:
-        return self.predicted_seconds * 1e3
-
-    def fallback_chain(self) -> list[str]:
-        """Every feasible algorithm, cheapest first — the order a resilient
-        executor degrades through when the winner's device fails."""
-        return [name for name, _ in self.candidates]
+__all__ = ["PlanChoice", "TopKPlan", "TopKPlanner"]
 
 
 class TopKPlanner:
@@ -72,8 +46,10 @@ class TopKPlanner:
         dtype: np.dtype = np.dtype(np.float32),
         profile: WorkloadProfile = UNIFORM_FLOAT,
         recall_target: float = 1.0,
-    ) -> PlanChoice:
-        """Rank all feasible algorithms and return the cheapest.
+    ) -> TopKPlan:
+        """Rank all feasible algorithms and return the cheapest as a
+        typed physical plan (a :class:`~repro.plan.TopKPlan` whose root is
+        an explicit :class:`~repro.plan.Fallback` tree over the ranking).
 
         ``recall_target`` below 1.0 additionally lets the planner consider
         the bucketed approximate operator: it is chosen iff a configuration
@@ -135,10 +111,25 @@ class TopKPlanner:
                     best_name = "approx-bucket"
                     best_time = approx_time
                     ranking.insert(0, (best_name, best_time))
+            plan = TopKPlan(
+                algorithm=best_name,
+                predicted_seconds=best_time,
+                candidates=tuple(ranking),
+                infeasible=tuple(infeasible),
+                recall_target=recall_target,
+                approx_config=approx_config,
+                expected_recall=plan_recall,
+                n=n,
+                k=k,
+                dtype=str(dtype),
+                profile=profile.name,
+                device=self.device.name,
+            )
             span.set(
                 algorithm=best_name,
                 predicted_ms=best_time * 1e3,
                 candidates=len(ranking),
+                plan_fingerprint=plan.fingerprint(),
             )
             registry = obs.active_metrics()
             if registry is not None:
@@ -146,15 +137,7 @@ class TopKPlanner:
                 registry.gauge("planner.predicted_ms", algorithm=best_name).set(
                     best_time * 1e3
                 )
-        return PlanChoice(
-            algorithm=best_name,
-            predicted_seconds=best_time,
-            candidates=tuple(ranking),
-            infeasible=tuple(infeasible),
-            recall_target=recall_target,
-            approx_config=approx_config,
-            expected_recall=plan_recall,
-        )
+        return plan
 
     def crossover_k(
         self,

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.algorithms.base import TopKResult, validate_topk_args
-from repro.algorithms.registry import create
+from repro.algorithms.registry import create, create_for_node
 from repro.core.planner import TopKPlanner
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
 from repro.errors import InvalidParameterError, ResourceExhaustedError
@@ -92,27 +92,31 @@ def topk(
         requested_algorithm=algorithm,
         device=device.name,
     ) as span:
-        approx_config = None
         if algorithm == "auto":
-            choice = TopKPlanner(device).choose(
+            plan = TopKPlanner(device).choose(
                 len(values), k, values.dtype, profile,
                 recall_target=recall_target,
             )
-            candidates = choice.fallback_chain()
-            approx_config = choice.approx_config
+            span.set(plan_fingerprint=plan.fingerprint())
+            # Walk the plan tree's explicit Fallback alternatives: each
+            # operator node (TopK or ApproxTopK, configuration included)
+            # resolves to its kernel through the registry's node dispatch.
+            attempts = [
+                (getattr(node, "algorithm", node.kind), node)
+                for node in plan.root.alternatives
+            ]
         else:
-            candidates = [algorithm]
+            attempts = [(algorithm, None)]
 
         keys = values if largest else _order_reversed(values)
         result = None
-        for position, name in enumerate(candidates):
+        for position, (name, node) in enumerate(attempts):
             try:
-                if name == "approx-bucket" and approx_config is not None:
-                    from repro.approx.bucketed import ApproxBucketTopK
-
-                    runner = ApproxBucketTopK(device, config=approx_config)
-                else:
-                    runner = create(name, device)
+                runner = (
+                    create_for_node(node, device)
+                    if node is not None
+                    else create(name, device)
+                )
                 result = runner.run(keys, k, model_n=model_n)
                 break
             except ResourceExhaustedError:
@@ -120,7 +124,7 @@ def topk(
                 # implementation hit a hard resource limit: with "auto" the
                 # candidate is simply infeasible, so degrade to the next
                 # one; an explicitly requested algorithm surfaces the error.
-                if position == len(candidates) - 1:
+                if position == len(attempts) - 1:
                     raise
                 registry = obs.active_metrics()
                 if registry is not None:

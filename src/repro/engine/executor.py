@@ -26,21 +26,32 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import observability as obs
+from repro.algorithms.base import reference_topk
+from repro.algorithms.registry import create_for_node
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.optimizations import FULL, OptimizationFlags
-from repro.bitonic.topk import BitonicTopK
-from repro.algorithms.base import reference_topk
 from repro.engine.sql import Query, parse
 from repro.engine.table import Table
 from repro.errors import (
     FaultError,
     InvalidParameterError,
+    ReproError,
     UnsupportedQueryError,
 )
 from repro.gpu import faults
 from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import TraceTime, trace_time
+from repro.plan import (
+    CPU_FALLBACK,
+    ApproxTopK,
+    Fallback,
+    Filter,
+    PlanNode,
+    Scan,
+    build_fallback,
+    network_k,
+)
 
 #: Key + row-id bytes moved per materialized candidate row (4-byte rank
 #: value and 4-byte id, the (key, id) layout Section 6.6 recommends).
@@ -63,6 +74,9 @@ class QueryResult:
     device: DeviceSpec
     num_input_rows: int
     num_result_rows: int
+    #: The typed physical plan the query executed (None for legacy
+    #: construction paths); EXPLAIN and tracing render this tree.
+    plan: PlanNode | None = None
 
     def simulated_time(self) -> TraceTime:
         return trace_time(self.trace, self.device)
@@ -155,6 +169,8 @@ class QueryExecutor:
                 launches=result.trace.num_launches,
                 simulated_ms=sim_ms,
             )
+            if result.plan is not None:
+                span.set(plan_fingerprint=result.plan.fingerprint())
             registry = obs.active_metrics()
             if registry is not None:
                 registry.counter("engine.queries", strategy=result.strategy).inc()
@@ -179,8 +195,65 @@ class QueryExecutor:
             scan.add_global_write(
                 float(model_rows) * selectivity * self.table.row_bytes()
             )
+        plan = self._input_plan(query, model_rows)
         return QueryResult(
-            columns, trace, "scan", self.device, len(self.table), len(indices)
+            columns, trace, "scan", self.device, len(self.table), len(indices),
+            plan=plan,
+        )
+
+    # -- plan construction ----------------------------------------------
+
+    def _input_plan(self, query: Query, model_rows: int) -> PlanNode:
+        """The Scan(+Filter) subtree every query plan is rooted on."""
+        try:
+            width = self._scan_width(query)
+        except ReproError:
+            # Grouped queries order by aggregate aliases that are not
+            # table columns; the scan width is then not a plan property.
+            width = None
+        node: PlanNode = Scan(
+            source=self.table.name,
+            rows=model_rows,
+            dtype="float32",
+            width_bytes=width,
+        )
+        if query.where is not None:
+            node = Filter(child=node, predicate=str(query.where))
+        return node
+
+    def _selection_plan(
+        self,
+        query: Query,
+        model_rows: int,
+        matched_model: int,
+        k: int,
+        effective_recall: float,
+        approx_config,
+        expected_recall: float | None,
+    ) -> Fallback:
+        """The query's top-k selection as an explicit Fallback plan.
+
+        The chain mirrors the engine's fault posture exactly: the chosen
+        operator (the approximate bucketed selection when planned, the
+        bitonic network otherwise), anchored on the CPU oracle — bounded
+        kernel retries happen *within* a stage, the oracle is the terminal
+        stage that cannot lose a device.
+        """
+        ranked: list[tuple[str, float | None]] = []
+        if approx_config is not None:
+            ranked.append(("approx-bucket", None))
+        else:
+            ranked.append(("bitonic", None))
+        return build_fallback(
+            ranked,
+            n=matched_model,
+            k=k,
+            dtype="float32",
+            recall_target=effective_recall,
+            approx_config=approx_config,
+            expected_recall=expected_recall,
+            terminal_cpu=True,
+            child=self._input_plan(query, model_rows),
         )
 
     # -- ORDER BY ... LIMIT k -------------------------------------------
@@ -222,6 +295,16 @@ class QueryExecutor:
                     np.dtype(np.float32),
                     self.device,
                 )
+        with faults.suspended():
+            plan = self._selection_plan(
+                query,
+                model_rows,
+                matched_model,
+                max(k, 1),
+                effective_recall,
+                approx_plan[0] if approx_plan is not None else None,
+                approx_plan[2] if approx_plan is not None else None,
+            )
         approx_trace: ExecutionTrace | None = None
         if k <= 0:
             result_rows = np.empty(0, dtype=np.int64)
@@ -230,15 +313,10 @@ class QueryExecutor:
             if not keys[0][1]:
                 ranks = -ranks
             candidate_ranks = ranks[mask].astype(np.float32)
-            if approx_plan is not None:
-                order, approx_trace = self._functional_approx_topk(
-                    candidate_ranks, k, approx_plan[0], matched_model
-                )
-                result_rows = candidate_rows[order]
-            else:
-                result_rows = candidate_rows[
-                    self._functional_topk(candidate_ranks, k)
-                ]
+            order, approx_trace = self._run_selection(
+                plan, candidate_ranks, k, matched_model
+            )
+            result_rows = candidate_rows[order]
         else:
             # Multi-key lexicographic order (the KKV kernel of Section
             # 6.6); functional selection via a stable multi-key sort.
@@ -253,64 +331,193 @@ class QueryExecutor:
         # Trace construction is accounting, not device activity; the
         # query's injectable execution is the functional selection above.
         with faults.suspended():
+            trace = self._selection_trace(
+                query, strategy, model_rows, matched_model, k, approx_trace
+            )
             if approx_trace is not None:
-                trace = self._approx_topk_trace(
-                    query, strategy, model_rows, matched_model, approx_trace
-                )
                 trace.notes["approx.recall_target"] = effective_recall
-            else:
-                trace = self._topk_trace(
-                    query, strategy, model_rows, matched_model, k
-                )
         return QueryResult(
-            columns, trace, strategy, self.device, len(self.table), len(result_rows)
+            columns, trace, strategy, self.device, len(self.table),
+            len(result_rows), plan=plan,
         )
 
-    def _topk_trace(
+    # -- the plan interpreter -------------------------------------------
+
+    def _run_selection(
+        self,
+        plan: Fallback,
+        ranks: np.ndarray,
+        k: int,
+        matched_model: int,
+    ) -> tuple[np.ndarray, ExecutionTrace | None]:
+        """Walk the selection plan's fallback alternatives.
+
+        The single fault-retry/CPU-oracle wrapper for every selection the
+        engine runs, exact or approximate: each kernel stage gets
+        ``fault_retries`` bounded retries on an injected device fault;
+        the terminal ``cpu-heap`` stage is the oracle, which has no device
+        to lose and answers exactly.  Returns the selected indices plus
+        the operator's own trace for stages that model one (the
+        approximate operator) — None means "account with the exact
+        query-level trace".
+
+        The functional selection is an implementation detail, not a
+        modeled kernel; its launches are re-accounted by the query's own
+        trace, so observation is suspended around it.
+        """
+        winner = plan.alternatives[0]
+        span_attrs: dict = {"candidates": len(ranks)}
+        if isinstance(winner, ApproxTopK):
+            span_name = "phase:functional-approx-topk"
+            span_attrs["buckets"] = winner.buckets
+        else:
+            span_name = "phase:functional-topk"
+        retries = 0
+        oracle = False
+        outcome: tuple[np.ndarray, ExecutionTrace | None] | None = None
+        with obs.span(span_name, category="phase", **span_attrs):
+            with obs.suspended():
+                for node in plan.alternatives:
+                    if getattr(node, "algorithm", "") == CPU_FALLBACK:
+                        oracle = True
+                        with faults.suspended():
+                            _, indices = reference_topk(ranks, k)
+                        outcome = (indices, None)
+                        break
+                    for _attempt in range(self.fault_retries + 1):
+                        try:
+                            result = create_for_node(
+                                node, self.device, flags=self.flags
+                            ).run(
+                                ranks,
+                                k,
+                                model_n=(
+                                    matched_model
+                                    if isinstance(node, ApproxTopK)
+                                    else None
+                                ),
+                            )
+                            outcome = (
+                                result.indices,
+                                result.trace
+                                if isinstance(node, ApproxTopK)
+                                else None,
+                            )
+                            break
+                        except FaultError:
+                            retries += 1
+                    if outcome is not None:
+                        break
+        assert outcome is not None
+        registry = obs.active_metrics()
+        if registry is not None:
+            if retries:
+                registry.counter("engine.fault_retries").inc(retries)
+            if oracle:
+                registry.counter("engine.cpu_fallbacks").inc()
+        return outcome
+
+    # -- trace embedding --------------------------------------------------
+
+    def _fuse_scan_kernel(self, first, scan_width: int, model_rows: int,
+                          name: str) -> None:
+        """Rewrite an operator's first kernel into the Section 5
+        buffer-filler: it scans the base columns instead of reading a
+        materialized candidate array, staging every scanned row through
+        shared memory once."""
+        first.name = name
+        first.global_bytes_read = float(model_rows) * scan_width
+        first.add_shared(float(model_rows) * 4.0)
+
+    def _materialize_kernel(
+        self,
+        trace: ExecutionTrace,
+        query: Query,
+        scan_width: int,
+        model_rows: int,
+        matched_rows: int,
+        candidate_bytes_per_row: int,
+    ) -> None:
+        """The separate filter/projection kernel of the non-fused
+        strategies: one full scan, one (rank, id) candidate write."""
+        materialize = trace.launch(
+            "filter-project" if query.where is not None else "project"
+        )
+        materialize.add_global_read(float(model_rows) * scan_width)
+        materialize.add_global_write(
+            float(matched_rows) * candidate_bytes_per_row
+        )
+
+    def _selection_trace(
         self,
         query: Query,
         strategy: str,
         model_rows: int,
         matched_rows: int,
         k: int,
+        operator_trace: ExecutionTrace | None = None,
     ) -> ExecutionTrace:
-        network_k = 1 << max(0, (max(k, 1) - 1).bit_length())
-        has_filter = query.where is not None
+        """Embed the query's top-k selection in its strategy pipeline.
+
+        One accounting path for the exact and approximate operators:
+        under "fused" the selection's first kernel becomes the Section 5
+        buffer-filler (:meth:`_fuse_scan_kernel`); otherwise a
+        filter/projection kernel materializes candidate rows first
+        (:meth:`_materialize_kernel`).  ``operator_trace`` carries the
+        approximate operator's own kernels; None means the exact pipeline
+        (bitonic under "topk"/"fused", the radix-sort baseline under
+        "sort").
+        """
         scan_width = self._scan_width(query)
+        trace = ExecutionTrace()
+        if operator_trace is not None:
+            candidate_bytes_per_row = CANDIDATE_ROW_BYTES
+            first = operator_trace.kernels[0]
+            if strategy == "fused":
+                self._fuse_scan_kernel(
+                    first, scan_width, model_rows, f"fused-{first.name}"
+                )
+            else:
+                self._materialize_kernel(
+                    trace, query, scan_width, model_rows, matched_rows,
+                    candidate_bytes_per_row,
+                )
+                first.global_bytes_read = (
+                    float(matched_rows) * candidate_bytes_per_row
+                )
+            trace.extend(operator_trace)
+            trace.notes["selectivity"] = matched_rows / model_rows
+            return trace
+
         # One 4-byte rank per ORDER BY key plus the 4-byte row id
         # (the KV/KKV/KKKV row widths of Section 6.6).
         num_keys = max(1, len(query.order_by_keys) or 1)
         candidate_bytes_per_row = 4 * num_keys + 4
-        trace = ExecutionTrace()
+        padded_k = network_k(max(k, 1))
         if strategy == "fused":
             fused = build_trace(
                 matched_rows,
-                network_k,
+                padded_k,
                 candidate_bytes_per_row,
                 self.flags,
                 self.device,
             )
-            first = fused.kernels[0]
-            # The fused kernel scans the base columns instead of reading a
-            # materialized candidate array; the buffer-filler stages every
-            # scanned row through shared memory once (Section 5).
-            first.name = "FusedSortReducer"
-            first.global_bytes_read = float(model_rows) * scan_width
-            first.add_shared(float(model_rows) * 4.0)
+            self._fuse_scan_kernel(
+                fused.kernels[0], scan_width, model_rows, "FusedSortReducer"
+            )
             trace.extend(fused)
             trace.notes["selectivity"] = matched_rows / model_rows
             return trace
 
-        materialize = trace.launch("filter-project" if has_filter else "project")
-        materialize.add_global_read(float(model_rows) * scan_width)
-        materialize.add_global_write(
-            float(matched_rows) * candidate_bytes_per_row
+        self._materialize_kernel(
+            trace, query, scan_width, model_rows, matched_rows,
+            candidate_bytes_per_row,
         )
         if strategy == "topk":
             trace.extend(
                 build_trace(
                     matched_rows,
-                    network_k,
+                    padded_k,
                     candidate_bytes_per_row,
                     self.flags,
                     self.device,
@@ -327,89 +534,6 @@ class QueryExecutor:
         gather = trace.launch("gather-topk")
         gather.add_global_read(float(max(k, 1)) * candidate_bytes_per_row)
         return trace
-
-    def _approx_topk_trace(
-        self,
-        query: Query,
-        strategy: str,
-        model_rows: int,
-        matched_rows: int,
-        approx_trace: ExecutionTrace,
-    ) -> ExecutionTrace:
-        """Embed the approximate operator's trace in the query's plan.
-
-        The operator modeled a bare float32 selection over the matched
-        rows; the query-level rewrite mirrors :meth:`_topk_trace`: under
-        "fused" the bucket scan reads the base columns directly (the
-        Section 5 buffer-filler), under "topk" a filter/projection kernel
-        materializes (rank, id) candidate rows first.
-        """
-        scan_width = self._scan_width(query)
-        candidate_bytes_per_row = CANDIDATE_ROW_BYTES
-        trace = ExecutionTrace()
-        first = approx_trace.kernels[0]
-        if strategy == "fused":
-            first.name = f"fused-{first.name}"
-            first.global_bytes_read = float(model_rows) * scan_width
-            first.add_shared(float(model_rows) * 4.0)
-        else:
-            has_filter = query.where is not None
-            materialize = trace.launch(
-                "filter-project" if has_filter else "project"
-            )
-            materialize.add_global_read(float(model_rows) * scan_width)
-            materialize.add_global_write(
-                float(matched_rows) * candidate_bytes_per_row
-            )
-            first.global_bytes_read = (
-                float(matched_rows) * candidate_bytes_per_row
-            )
-        trace.extend(approx_trace)
-        trace.notes["selectivity"] = matched_rows / model_rows
-        return trace
-
-    def _functional_approx_topk(
-        self,
-        ranks: np.ndarray,
-        k: int,
-        config,
-        matched_model: int,
-    ) -> tuple[np.ndarray, ExecutionTrace | None]:
-        """Approximate selection with the same fault posture as
-        :meth:`_functional_topk`: bounded retries, then the CPU oracle
-        (whose exact answer is accounted with the exact trace — a None
-        return signals the caller to fall back to exact accounting)."""
-        from repro.approx.bucketed import ApproxBucketTopK
-
-        retries = 0
-        outcome: tuple[np.ndarray, ExecutionTrace | None] | None = None
-        with obs.span(
-            "phase:functional-approx-topk",
-            category="phase",
-            candidates=len(ranks),
-            buckets=config.buckets,
-        ):
-            with obs.suspended():
-                for attempt in range(self.fault_retries + 1):
-                    try:
-                        result = ApproxBucketTopK(
-                            self.device, config=config, flags=self.flags
-                        ).run(ranks, k, model_n=matched_model)
-                        outcome = (result.indices, result.trace)
-                        break
-                    except FaultError:
-                        retries += 1
-                if outcome is None:
-                    with faults.suspended():
-                        _, indices = reference_topk(ranks, k)
-                    outcome = (indices, None)
-        registry = obs.active_metrics()
-        if registry is not None:
-            if retries:
-                registry.counter("engine.fault_retries").inc(retries)
-            if outcome[1] is None:
-                registry.counter("engine.cpu_fallbacks").inc()
-        return outcome
 
     # -- GROUP BY ... ORDER BY count LIMIT k ----------------------------
 
@@ -436,12 +560,23 @@ class QueryExecutor:
                 item, mask, inverse, counts, len(groups)
             )
 
+        with faults.suspended():
+            plan = build_fallback(
+                [("bitonic", None)],
+                n=len(groups),
+                k=min(query.limit or 1, max(len(groups), 1)),
+                dtype="float64",
+                terminal_cpu=True,
+                child=self._input_plan(query, model_rows),
+            )
         if query.order_by is not None and query.limit is not None:
             rank = self._group_rank(query, groups, aggregates, group_column)
             if not query.order_desc:
                 rank = -rank
             k = min(query.limit, len(groups))
-            order = self._functional_topk(rank.astype(np.float64), k)
+            order, _ = self._run_selection(
+                plan, rank.astype(np.float64), k, len(groups)
+            )
         else:
             order = np.argsort(counts)[::-1]
         result = {group_column: groups[order]}
@@ -481,7 +616,8 @@ class QueryExecutor:
                         kernel.add_global_read(2.0 * group_bytes)
                         kernel.add_global_write(group_bytes)
         return QueryResult(
-            result, trace, strategy, self.device, len(self.table), len(order)
+            result, trace, strategy, self.device, len(self.table), len(order),
+            plan=plan,
         )
 
     # -- helpers ---------------------------------------------------------

@@ -5,6 +5,12 @@ for a top-k query, the physical pipeline of each execution strategy with
 its simulated cost at the modeled table size, and recommends the cheapest —
 which, per Section 5, is the fused kernel whenever the query has a filter
 or computed ranking.
+
+Each strategy's entry carries the *typed physical plan tree* the executor
+actually walked (``repro.plan``): the Fallback node over the selection
+operator (TopK or ApproxTopK, ending on the CPU heap) rooted on the
+query's Scan/Filter input.  ``render`` prints it; ``to_dict`` emits it
+for ``repro explain --json`` and external tooling.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.engine.executor import STRATEGIES, QueryExecutor
 from repro.engine.sql import Query, parse
+from repro.plan import PLAN_FORMAT, PLAN_VERSION, PlanNode
 
 _PIPELINES = {
     "sort": ["scan + filter/project -> materialize (rank, id)",
@@ -26,12 +33,24 @@ _PIPELINES = {
 
 @dataclass(frozen=True)
 class StrategyPlan:
-    """One strategy's pipeline and simulated cost."""
+    """One strategy's pipeline, simulated cost, and physical plan tree."""
 
     strategy: str
     pipeline: tuple[str, ...]
     simulated_ms: float
     kernel_launches: int
+    #: The typed plan tree the executor walked for this strategy (the
+    #: Fallback over TopK/ApproxTopK operators on the Scan/Filter input).
+    plan: PlanNode | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "pipeline": list(self.pipeline),
+            "simulated_ms": self.simulated_ms,
+            "kernel_launches": self.kernel_launches,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+        }
 
 
 @dataclass(frozen=True)
@@ -47,7 +66,7 @@ class QueryPlan:
         return self.strategies[0].strategy
 
     def render(self) -> str:
-        """Human-readable EXPLAIN output."""
+        """Human-readable EXPLAIN output, plan trees included."""
         lines = [f"EXPLAIN (model_rows = {self.model_rows:,})", f"  {self.sql}"]
         for plan in self.strategies:
             marker = "->" if plan.strategy == self.recommended else "  "
@@ -57,7 +76,22 @@ class QueryPlan:
             )
             for stage in plan.pipeline:
                 lines.append(f"       . {stage}")
+            if plan.plan is not None:
+                lines.append(f"       plan {plan.plan.fingerprint()}")
+                for row in plan.plan.render().splitlines():
+                    lines.append(f"       {row}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable EXPLAIN (``repro explain --json``)."""
+        return {
+            "format": PLAN_FORMAT,
+            "version": PLAN_VERSION,
+            "sql": self.sql,
+            "model_rows": self.model_rows,
+            "recommended": self.recommended,
+            "strategies": [plan.to_dict() for plan in self.strategies],
+        }
 
 
 def explain(
@@ -79,6 +113,7 @@ def explain(
                 pipeline=tuple(_PIPELINES.get(strategy, ())),
                 simulated_ms=result.simulated_ms(),
                 kernel_launches=result.trace.num_launches,
+                plan=result.plan,
             )
         )
     plans.sort(key=lambda plan: plan.simulated_ms)

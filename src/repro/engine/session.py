@@ -106,7 +106,15 @@ class Session:
         "topk" = separate bitonic top-k kernel, "fused" = Section 5 fusion);
         ``model_rows`` scales the execution trace to a larger modeled table
         (e.g. the paper's 250M tweets).
+
+        A query prefixed with ``EXPLAIN`` is not executed for its answer:
+        it returns the :class:`~repro.engine.explain.QueryPlan` costing
+        out every strategy (with each strategy's physical plan tree),
+        exactly like :meth:`explain` on the unprefixed text.
         """
+        stripped = text.lstrip()
+        if stripped[:8].upper() == "EXPLAIN " or stripped.upper() == "EXPLAIN":
+            return self.explain(stripped[7:].strip(), model_rows=model_rows)
         with self._observed():
             query = parse(text)
             executor = QueryExecutor(

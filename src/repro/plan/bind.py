@@ -1,0 +1,62 @@
+"""Binding: turn a plan tree into a ready-to-run executable.
+
+A :class:`~repro.plan.plan.TopKPlan` is pure data; :func:`bind_plan`
+resolves its winning operator node to an instantiated kernel through the
+algorithm registry's node dispatch
+(:func:`repro.algorithms.registry.create_for_node`) and wraps both in a
+:class:`BoundPlan` — the unit the serving plan cache stores.  A cache hit
+hands back the *bound* plan, so the hot path skips re-planning, registry
+lookup, kernel construction, and parameter re-validation entirely: the
+payload goes straight into the prepared runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import TopKAlgorithm, TopKResult
+from repro.gpu.device import DeviceSpec, get_device
+from repro.plan.plan import TopKPlan
+
+
+@dataclass
+class BoundPlan:
+    """A plan plus its instantiated winning kernel.
+
+    ``run`` trusts the caller to supply a payload matching the bound shape
+    (same n, k, dtype the plan was built for) — the serving layer
+    validates once at submit time, so per-hit re-validation is skipped.
+    """
+
+    plan: TopKPlan
+    runner: TopKAlgorithm
+    device: DeviceSpec
+
+    def run(
+        self,
+        data: np.ndarray,
+        k: int | None = None,
+        model_n: int | None = None,
+    ) -> TopKResult:
+        """Execute the bound winner on ``data`` (defaults to the plan's k)."""
+        return self.runner.run(
+            data, self.plan.k if k is None else k, model_n=model_n
+        )
+
+    def fingerprint(self) -> str:
+        return self.plan.fingerprint()
+
+
+def bind_plan(
+    plan: TopKPlan,
+    device: DeviceSpec | None = None,
+    flags=None,
+) -> BoundPlan:
+    """Resolve the plan's winning operator node to a kernel instance."""
+    from repro.algorithms.registry import create_for_node
+
+    device = device or get_device()
+    runner = create_for_node(plan.winner(), device, flags=flags)
+    return BoundPlan(plan=plan, runner=runner, device=device)

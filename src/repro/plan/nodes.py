@@ -1,0 +1,294 @@
+"""The typed physical-plan IR: every layer speaks :class:`PlanNode` trees.
+
+The paper's MapD integration works because top-k is a first-class *plan
+operator* the database can compose, cost, and swap (Section 8).  This
+module is our equivalent: a small algebra of immutable plan nodes —
+
+* :class:`Scan`       — produce the input rows (table scan or raw vector);
+* :class:`Filter`     — a WHERE predicate over a child's rows;
+* :class:`TopK`       — exact top-k selection with a chosen kernel;
+* :class:`ApproxTopK` — the bucketed approximate operator with its full
+  :class:`~repro.approx.config.ApproxConfig` identity and analytic recall;
+* :class:`Batch`      — a fused cross-query launch compatibility group;
+* :class:`Fallback`   — ordered alternatives a resilient executor degrades
+  through (cheapest first, the last child must always succeed);
+* :class:`Merge`      — exact merge of partial/candidate results.
+
+Every node has a stable :meth:`~PlanNode.fingerprint` (a digest of the
+node's *identity* — what it computes, never what it is predicted to cost),
+cost annotations (``predicted_seconds``), a :meth:`~PlanNode.to_dict` for
+EXPLAIN/tracing/external tooling, and a :meth:`~PlanNode.render` ascii
+tree.  Fingerprints are the currency of the serving layer: the plan cache
+keys bound plans on them and the cross-query batcher groups requests whose
+:class:`Batch` nodes fingerprint identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Iterator
+
+#: Sentinel algorithm name of the terminal CPU stage in a fallback chain
+#: (the hand-rolled priority queue, which has no simulated GPU to lose).
+CPU_FALLBACK = "cpu-heap"
+
+#: to_dict() schema tag so external consumers can version-check trees.
+PLAN_FORMAT = "repro-plan"
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class of all physical plan operators.
+
+    Subclasses are frozen dataclasses; fields named in ``_cost_fields``
+    are annotations (excluded from the fingerprint), everything else is
+    identity.  Children are regular fields holding nodes or node tuples.
+    """
+
+    kind: ClassVar[str] = "node"
+    _cost_fields: ClassVar[frozenset] = frozenset({"predicted_seconds"})
+
+    @property
+    def children(self) -> tuple["PlanNode", ...]:
+        out: list[PlanNode] = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, PlanNode):
+                out.append(value)
+            elif isinstance(value, tuple) and value and all(
+                isinstance(item, PlanNode) for item in value
+            ):
+                out.extend(value)
+        return tuple(out)
+
+    # -- identity ---------------------------------------------------------
+
+    def identity(self) -> dict:
+        """The node's own identity attributes (no children, no costs)."""
+        out: dict = {"kind": self.kind}
+        for spec in fields(self):
+            if spec.name in self._cost_fields:
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, PlanNode):
+                continue
+            if isinstance(value, tuple):
+                if value and all(isinstance(item, PlanNode) for item in value):
+                    continue
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the plan's identity subtree.
+
+        Two plans fingerprint identically iff they compute the same thing
+        the same way; cost annotations never perturb the digest, so a
+        re-costed plan still hits the same cache entry.
+        """
+        canonical = json.dumps(
+            self._identity_tree(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def _identity_tree(self) -> dict:
+        tree = self.identity()
+        children = self.children
+        if children:
+            tree["children"] = [child._identity_tree() for child in children]
+        return tree
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable tree: identity + costs + children."""
+        out = self.identity()
+        for name in self._cost_fields:
+            value = getattr(self, name, None)
+            if value is not None:
+                out[name] = value
+        out["fingerprint"] = self.fingerprint()
+        children = self.children
+        if children:
+            out["children"] = [child.to_dict() for child in children]
+        return out
+
+    # -- traversal --------------------------------------------------------
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: type) -> "PlanNode | None":
+        """First node of ``kind`` in pre-order, or None."""
+        for node in self.walk():
+            if isinstance(node, kind):
+                return node
+        return None
+
+    # -- rendering --------------------------------------------------------
+
+    def label(self) -> str:
+        """One-line human description used by :meth:`render`."""
+        attrs = ", ".join(
+            f"{name}={value}"
+            for name, value in self.identity().items()
+            if name != "kind" and value not in (None, ())
+        )
+        return f"{self.kind}({attrs})" if attrs else self.kind
+
+    def render(self, indent: str = "") -> str:
+        """Ascii tree of the plan, EXPLAIN-style."""
+        cost = getattr(self, "predicted_seconds", None)
+        suffix = f"  [{cost * 1e3:.2f} ms]" if cost is not None else ""
+        lines = [f"{indent}{self.label()}{suffix}"]
+        children = self.children
+        for position, child in enumerate(children):
+            last = position == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            continuation = "   " if last else "│  "
+            sub = child.render().splitlines()
+            lines.append(f"{indent}{branch}{sub[0]}")
+            lines.extend(f"{indent}{continuation}{line}" for line in sub[1:])
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Produce the input: a table scan or a caller-supplied vector."""
+
+    kind: ClassVar[str] = "Scan"
+
+    source: str = "vector"
+    rows: int = 0
+    dtype: str = "float32"
+    width_bytes: int | None = None
+    predicted_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    """A WHERE predicate over the child's rows."""
+
+    kind: ClassVar[str] = "Filter"
+
+    child: PlanNode = field(default_factory=Scan)
+    predicate: str = ""
+    selectivity: float | None = None
+    predicted_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class TopK(PlanNode):
+    """Exact top-k selection bound to a named kernel algorithm."""
+
+    kind: ClassVar[str] = "TopK"
+
+    child: PlanNode = field(default_factory=Scan)
+    k: int = 1
+    n: int = 0
+    dtype: str = "float32"
+    algorithm: str = "bitonic"
+    predicted_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class ApproxTopK(PlanNode):
+    """The bucketed approximate operator with its full configuration."""
+
+    kind: ClassVar[str] = "ApproxTopK"
+
+    child: PlanNode = field(default_factory=Scan)
+    k: int = 1
+    n: int = 0
+    dtype: str = "float32"
+    algorithm: str = "approx-bucket"
+    buckets: int = 32
+    oversample: int = 3
+    delegate_group: int = 0
+    seed: int | None = None
+    recall_target: float = 1.0
+    #: Analytic expected recall is an *annotation* — the same configuration
+    #: at a different n fingerprints by its identity fields, not this.
+    expected_recall: float | None = None
+    predicted_seconds: float | None = None
+
+    _cost_fields: ClassVar[frozenset] = frozenset(
+        {"predicted_seconds", "expected_recall"}
+    )
+
+    def config(self):
+        """Materialize the node's :class:`~repro.approx.config.ApproxConfig`."""
+        from repro.approx.config import ApproxConfig
+
+        return ApproxConfig(
+            buckets=self.buckets,
+            oversample=self.oversample,
+            delegate_group=self.delegate_group,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class Batch(PlanNode):
+    """A fused cross-query launch compatibility group.
+
+    Two serving requests may ride one batched launch iff their Batch
+    nodes fingerprint identically: same row length, dtype, padded network
+    width, recall expectation, and approximate configuration.
+    """
+
+    kind: ClassVar[str] = "Batch"
+
+    child: PlanNode = field(default_factory=Scan)
+    n: int = 0
+    dtype: str = "float32"
+    network_k: int = 1
+    recall_target: float = 1.0
+    approx_key: tuple | None = None
+    predicted_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class Fallback(PlanNode):
+    """Ordered alternatives: try children left to right until one succeeds.
+
+    The resilient executor's degradation order made explicit — cheapest
+    first, and when ``terminal`` the last child is the CPU heap, which
+    needs no working device at all.
+    """
+
+    kind: ClassVar[str] = "Fallback"
+
+    alternatives: tuple[PlanNode, ...] = ()
+    predicted_seconds: float | None = None
+
+    def chain(self) -> list[str]:
+        """The algorithm names in degradation order."""
+        return [
+            getattr(node, "algorithm", node.kind)
+            for node in self.alternatives
+        ]
+
+
+@dataclass(frozen=True)
+class Merge(PlanNode):
+    """Exact merge of partial results (multi-GPU shards, bucket candidates)."""
+
+    kind: ClassVar[str] = "Merge"
+
+    inputs: tuple[PlanNode, ...] = ()
+    k: int = 1
+    predicted_seconds: float | None = None
+
+
+#: Node kinds by name, for deserialization and registry dispatch.
+NODE_KINDS: dict[str, type] = {
+    node.kind: node
+    for node in (Scan, Filter, TopK, ApproxTopK, Batch, Fallback, Merge)
+}

@@ -29,16 +29,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import observability as obs
-from repro.algorithms.base import TopKAlgorithm, TopKResult, validate_topk_args
-from repro.algorithms.registry import create, list_algorithms
+from repro.algorithms.base import TopKResult, validate_topk_args
+from repro.algorithms.registry import create_for_node, list_algorithms
 from repro.core.planner import TopKPlanner
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
-from repro.cpu.pq_topk import HandPqTopK
 from repro.errors import ReproError, ResourceExhaustedError
 from repro.gpu import faults
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import BACKOFF_KERNEL
+from repro.plan import CPU_FALLBACK, Fallback, PlanNode, build_fallback
 from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy, is_retryable
 from repro.resilience.verify import verify_result
 
@@ -47,9 +47,6 @@ from repro.resilience.verify import verify_result
 #: paper's winner), then the selection baselines, then the CPU heap —
 #: which needs no working GPU at all.
 DEFAULT_FALLBACK_CHAIN = ("bitonic", "radix-select", "bucket-select", "sort")
-
-#: Sentinel name for the terminal CPU fallback stage.
-CPU_FALLBACK = "cpu-heap"
 
 
 @dataclass
@@ -84,6 +81,42 @@ class ResilientExecutor:
 
     # -- chain construction ---------------------------------------------
 
+    def fallback_plan(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype,
+        algorithm: str = "auto",
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> Fallback:
+        """The explicit :class:`~repro.plan.Fallback` node for this
+        configuration: the planner's cost ranking (or the caller's named
+        algorithm), extended with the fixed degradation order and — when
+        ``cpu_fallback`` — anchored on the CPU heap."""
+        approx_config = None
+        expected_recall = None
+        if algorithm == "auto":
+            choice = self.planner.choose(n, k, dtype, profile)
+            ranked = list(choice.candidates)
+            approx_config = choice.approx_config
+            expected_recall = choice.expected_recall
+        else:
+            ranked = [(algorithm, None)]
+        names = [name for name, _ in ranked]
+        for name in DEFAULT_FALLBACK_CHAIN:
+            if name not in names and name in list_algorithms():
+                ranked.append((name, None))
+                names.append(name)
+        return build_fallback(
+            ranked,
+            n=n,
+            k=k,
+            dtype=str(np.dtype(dtype)),
+            approx_config=approx_config,
+            expected_recall=expected_recall,
+            terminal_cpu=self.cpu_fallback,
+        )
+
     def fallback_chain(
         self,
         n: int,
@@ -92,24 +125,8 @@ class ResilientExecutor:
         algorithm: str = "auto",
         profile: WorkloadProfile = UNIFORM_FLOAT,
     ) -> list[str]:
-        """Ordered algorithm names to attempt for this configuration."""
-        chain: list[str] = []
-        if algorithm == "auto":
-            choice = self.planner.choose(n, k, dtype, profile)
-            chain.extend(choice.fallback_chain())
-        else:
-            chain.append(algorithm)
-        for name in DEFAULT_FALLBACK_CHAIN:
-            if name not in chain and name in list_algorithms():
-                chain.append(name)
-        if self.cpu_fallback:
-            chain.append(CPU_FALLBACK)
-        return chain
-
-    def _instantiate(self, name: str) -> TopKAlgorithm:
-        if name == CPU_FALLBACK:
-            return HandPqTopK(self.device)
-        return create(name, self.device)
+        """Ordered algorithm names to attempt (the plan's chain view)."""
+        return self.fallback_plan(n, k, dtype, algorithm, profile).chain()
 
     # -- execution -------------------------------------------------------
 
@@ -130,9 +147,10 @@ class ResilientExecutor:
         data = np.asarray(data)
         validate_topk_args(data, k)
         log = log if log is not None else AttemptLog()
-        chain = self.fallback_chain(
+        plan = self.fallback_plan(
             len(data), k, data.dtype, algorithm, profile
         )
+        chain = plan.chain()
         registry = obs.active_metrics()
         last_error: ReproError | None = None
         with obs.span(
@@ -142,8 +160,10 @@ class ResilientExecutor:
             k=k,
             requested_algorithm=algorithm,
             chain=",".join(chain),
+            plan_fingerprint=plan.fingerprint(),
         ) as span:
-            for position, name in enumerate(chain):
+            for position, node in enumerate(plan.alternatives):
+                name = chain[position]
                 if position > 0:
                     previous = chain[position - 1]
                     log.fallbacks.append((previous, name))
@@ -158,8 +178,8 @@ class ResilientExecutor:
                         target=name,
                     ):
                         pass
-                result, error = self._attempt_algorithm(
-                    name, data, k, model_n, log
+                result, error = self._attempt_node(
+                    node, name, data, k, model_n, log
                 )
                 if result is not None:
                     self._account_backoff(result, log)
@@ -181,21 +201,23 @@ class ResilientExecutor:
         assert last_error is not None
         raise last_error
 
-    def _attempt_algorithm(
+    def _attempt_node(
         self,
+        node: PlanNode,
         name: str,
         data: np.ndarray,
         k: int,
         model_n: int | None,
         log: AttemptLog,
     ) -> tuple[TopKResult | None, ReproError | None]:
-        """Retry loop for one chain stage; (None, error) means 'fall back'."""
+        """Retry loop for one fallback alternative; (None, error) means
+        'degrade to the next node'."""
         registry = obs.active_metrics()
         last_error: ReproError | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             log.attempts += 1
             try:
-                algorithm = self._instantiate(name)
+                algorithm = create_for_node(node, self.device)
                 if name == CPU_FALLBACK:
                     # The CPU heap has no simulated device to lose and no
                     # PCIe copy to corrupt: it is the terminal stage that

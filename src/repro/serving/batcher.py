@@ -8,15 +8,16 @@ with the same row shape and padded network width are stacked into a
 :func:`~repro.core.batched.batched_topk` launch — one fused execution
 trace instead of N single-row traces.
 
-Eligibility rules (see ``docs/serving.md``):
-
-* same ``n`` and dtype (rows of one matrix);
-* same padded network width ``network_k = next_pow2(k)`` — queries with
-  different literal ``k`` share a batch because the bitonic network is
-  built for the padded width and a smaller k is a prefix of the result;
-* the plan cache picked ``bitonic`` for the query — the fused batched
-  kernel *is* the bitonic network, so batching a query the cost models
-  routed elsewhere could change its answer's tie-breaking.
+Eligibility is decided on the plan IR: every planned request derives a
+:class:`~repro.plan.Batch` compatibility node (row length, dtype, padded
+network width ``network_k = next_pow2(k)``, recall expectation, and the
+planned approximate configuration), and two requests share a fused launch
+iff their Batch nodes **fingerprint identically** and the plan cache
+picked ``bitonic`` — the fused batched kernel *is* the bitonic network,
+so batching a query the cost models routed elsewhere could change its
+answer's tie-breaking.  Queries with different literal ``k`` still share
+a batch because the network is built for the padded width and a smaller k
+is a prefix of the result (see ``docs/serving.md``).
 
 A batch that hits an injected device fault is not failed: it falls back to
 per-query execution through :class:`~repro.resilience.ResilientExecutor`,
@@ -30,16 +31,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.algorithms.registry import create
 from repro.bitonic.optimizations import FULL
 from repro.core.batched import batched_topk
-from repro.core.planner import PlanChoice
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
 from repro.errors import FaultError, ResourceExhaustedError
 from repro.gpu import faults
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import trace_time
 from repro.observability.metrics import MetricsRegistry
+from repro.plan import BATCHABLE_ALGORITHM, Batch, BoundPlan, TopKPlan, bind_plan
+from repro.plan import network_k as network_k  # re-exported serving helper
 from repro.resilience.executor import ResilientExecutor
 from repro.serving.plan_cache import PlanCache
 
@@ -47,28 +48,9 @@ from repro.serving.plan_cache import PlanCache
 #: chunks larger backlogs into consecutive launches of at most this size.
 DEFAULT_MAX_BATCH = 128
 
-#: The only algorithm the fused batched kernel implements; plans that pick
-#: anything else are served per-query.
-BATCHABLE_ALGORITHM = "bitonic"
-
-
-def network_k(k: int) -> int:
-    """The padded (power-of-two) width of the bitonic network for ``k``."""
-    return 1 << max(0, (k - 1).bit_length())
-
-
-@dataclass(frozen=True)
-class BatchKey:
-    """Everything two queries must share to ride one fused launch."""
-
-    n: int
-    dtype: str
-    network_k: int
-    #: Recall floor and planned approximate configuration: queries with
-    #: different recall expectations (or approx plans) never share a
-    #: launch, even though only exact bitonic plans batch today.
-    recall_target: float = 1.0
-    approx: tuple | None = None
+#: Backwards-compatible alias: the batch compatibility key *is* the plan
+#: IR's Batch node now; requests group on its fingerprint.
+BatchKey = Batch
 
 
 @dataclass
@@ -84,21 +66,25 @@ class ServingRequest:
     #: execution so injection crosses the thread boundary.
     injector: object | None = None
     #: Filled by the dispatcher from the plan cache.
-    plan: PlanChoice | None = None
+    plan: TopKPlan | None = None
+    #: The cached executable (plan + instantiated kernel); hits skip
+    #: registry lookup and kernel construction entirely.
+    bound: BoundPlan | None = None
     #: Minimum acceptable recall for this query (1.0 = exact only).
     recall_target: float = 1.0
 
     @property
-    def key(self) -> BatchKey:
-        approx = None
-        if self.plan is not None and self.plan.approx_config is not None:
-            approx = self.plan.approx_config.key()
-        return BatchKey(
-            len(self.data),
-            str(self.data.dtype),
-            network_k(self.k),
-            float(self.recall_target),
-            approx,
+    def key(self) -> Batch:
+        """The request's :class:`~repro.plan.Batch` compatibility node."""
+        if self.plan is not None:
+            return self.plan.batch_node(
+                n=len(self.data), k=self.k, dtype=str(self.data.dtype)
+            )
+        return Batch(
+            n=len(self.data),
+            dtype=str(self.data.dtype),
+            network_k=network_k(self.k),
+            recall_target=float(self.recall_target),
         )
 
     @property
@@ -115,7 +101,7 @@ class QueryOutcome:
     k: int
     n: int
     algorithm: str
-    plan: PlanChoice
+    plan: TopKPlan
     batched: bool = False
     batch_size: int = 1
     #: Simulated milliseconds of the launch that produced this answer (the
@@ -166,15 +152,21 @@ class CrossQueryBatcher:
 
     # -- planning and grouping -------------------------------------------
 
-    def plan(self, request: ServingRequest) -> PlanChoice:
-        """Attach the (cached) plan for the request's shape."""
-        request.plan = self.plan_cache.choose(
+    def plan(self, request: ServingRequest) -> TopKPlan:
+        """Attach the (cached) bound plan for the request's shape.
+
+        A cache hit hands back a ready-to-run :class:`BoundPlan` — the
+        request skips re-planning, registry lookup, and kernel
+        construction entirely on the single-query path.
+        """
+        request.bound = self.plan_cache.bound(
             len(request.data),
             request.k,
             request.data.dtype,
             self.profile,
             recall_target=request.recall_target,
         )
+        request.plan = request.bound.plan
         return request.plan
 
     def group(
@@ -262,20 +254,12 @@ class CrossQueryBatcher:
 
     def _execute_single(self, request: ServingRequest) -> QueryOutcome:
         try:
-            if (
-                request.plan.algorithm == "approx-bucket"
-                and request.plan.approx_config is not None
-            ):
-                from repro.approx.bucketed import ApproxBucketTopK
-
-                runner = ApproxBucketTopK(
-                    self.device,
-                    config=request.plan.approx_config,
-                    flags=self.flags,
-                )
-            else:
-                runner = create(request.plan.algorithm, self.device)
-            result = runner.run(request.data, request.k)
+            bound = request.bound
+            if bound is None:
+                # Requests injected without going through plan(): bind on
+                # the spot so execution still walks the same code path.
+                bound = bind_plan(request.plan, self.device, flags=self.flags)
+            result = bound.run(request.data, request.k)
         except (FaultError, ResourceExhaustedError):
             return self._execute_resilient(request)
         simulated_ms = trace_time(result.trace, self.device).total_ms

@@ -1,19 +1,28 @@
-"""Memoizing plan cache: pay :meth:`TopKPlanner.choose` once per shape.
+"""Memoizing plan cache: pay planning and binding once per shape.
 
 A production serving layer sees millions of queries but only a handful of
 distinct *shapes* — the planner's decision depends only on
 ``(n, k, dtype, profile, device, recall_target)``, never on the payload
-bytes, so its
-cost-model evaluation (which builds full kernel traces for every candidate
-algorithm) is pure and cacheable.  :class:`PlanCache` wraps a planner with
-an LRU map over that key and publishes hit/miss/eviction counters to the
-observability metrics registry:
+bytes, so its cost-model evaluation (which builds full kernel traces for
+every candidate algorithm) is pure and cacheable.  :class:`PlanCache`
+keys an LRU map on the stable fingerprint of that plan request and stores
+**bound executable plans** (:class:`~repro.plan.BoundPlan`: the typed
+plan tree plus its instantiated winning kernel), so a cache hit skips
+re-planning, registry lookup, kernel construction, *and* parameter
+re-validation — the payload goes straight into the prepared runner.
+
+Counters are published to the observability metrics registry:
 
 * ``serving.plan_cache.hits`` / ``.misses`` / ``.evictions`` — counters;
 * ``serving.plan_cache.size`` — gauge (current number of cached plans).
 
-The cache is thread-safe: the serving scheduler consults it from its
-dispatcher thread while callers may probe it directly.
+Thread safety: the map and the hit/miss/eviction counters are only ever
+touched under the cache's lock (``TopKServer``'s dispatcher thread and
+direct callers may race on them otherwise).  Planning and binding happen
+*outside* the lock, so a slow cost-model evaluation never blocks
+concurrent lookups of other shapes; two threads missing on the same new
+shape may both plan it, but only the first insert is kept, so the cached
+object stays stable across hits.
 """
 
 from __future__ import annotations
@@ -24,20 +33,24 @@ from threading import RLock
 import numpy as np
 
 from repro import observability as obs
-from repro.core.planner import PlanChoice, TopKPlanner
+from repro.core.planner import TopKPlanner
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
 from repro.errors import InvalidParameterError
 from repro.gpu.device import DeviceSpec
+from repro.plan import BoundPlan, TopKPlan, bind_plan
+from repro.plan.plan import request_fingerprint
 
-#: Default maximum number of cached plans; a shape key is ~5 small values,
-#: so the default bounds memory while covering any realistic shape mix.
+#: Default maximum number of cached plans; an entry is a small plan tree
+#: plus one kernel instance, so the default bounds memory while covering
+#: any realistic shape mix.
 DEFAULT_CAPACITY = 256
 
-PlanKey = tuple[int, int, str, str, str, float]
+#: Cache keys are plan-request fingerprints (stable hex digests).
+PlanKey = str
 
 
 class PlanCache:
-    """LRU-memoized :meth:`TopKPlanner.choose`."""
+    """LRU map from plan-request fingerprints to bound executable plans."""
 
     def __init__(
         self,
@@ -60,7 +73,7 @@ class PlanCache:
         #: active in the calling thread (if any) is used instead, so the
         #: cache works both standalone and inside a server.
         self.metrics = metrics
-        self._entries: OrderedDict[PlanKey, PlanChoice] = OrderedDict()
+        self._entries: OrderedDict[PlanKey, BoundPlan] = OrderedDict()
         self._lock = RLock()
         self.hits = 0
         self.misses = 0
@@ -76,17 +89,18 @@ class PlanCache:
         profile: WorkloadProfile = UNIFORM_FLOAT,
         recall_target: float = 1.0,
     ) -> PlanKey:
-        """The memoization key: everything the planner's decision reads."""
-        return (
-            int(n),
-            int(k),
+        """The memoization key: the stable fingerprint of the plan request
+        (everything the planner's decision reads)."""
+        return request_fingerprint(
+            n,
+            k,
             str(np.dtype(dtype)),
             profile.name,
             self.planner.device.name,
-            float(recall_target),
+            recall_target,
         )
 
-    # -- the memoized call ------------------------------------------------
+    # -- the memoized calls -----------------------------------------------
 
     def choose(
         self,
@@ -95,31 +109,68 @@ class PlanCache:
         dtype: np.dtype = np.dtype(np.float32),
         profile: WorkloadProfile = UNIFORM_FLOAT,
         recall_target: float = 1.0,
-    ) -> PlanChoice:
-        """:meth:`TopKPlanner.choose`, paid once per distinct shape."""
+    ) -> TopKPlan:
+        """:meth:`TopKPlanner.choose`, paid once per distinct shape.
+
+        A miss plans *and binds* the winner, inserting the resulting
+        :class:`BoundPlan` so :meth:`bound` can serve it without another
+        registry trip.  This is also the planning seam: everything the
+        serving layer executes was planned through this method.
+        """
         key = self.key(n, k, dtype, profile, recall_target)
-        with self._lock:
-            if self.enabled:
-                choice = self._entries.get(key)
-                if choice is not None:
+        if self.enabled:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
                     self._entries.move_to_end(key)
                     self.hits += 1
                     self._publish("hits")
-                    return choice
-            # Planning inside the lock keeps a burst of identical shapes
-            # from planning the same key concurrently — the whole point.
-            choice = self.planner.choose(
-                n, k, dtype, profile, recall_target=recall_target
-            )
+                    return entry.plan
+        # Plan and bind outside the lock: cost-model evaluation is the
+        # expensive part and must not serialize unrelated lookups.
+        plan = self.planner.choose(
+            n, k, dtype, profile, recall_target=recall_target
+        )
+        entry = bind_plan(plan, self.planner.device)
+        with self._lock:
             self.misses += 1
             self._publish("misses")
             if self.enabled:
-                self._entries[key] = choice
+                existing = self._entries.get(key)
+                if existing is not None:
+                    # A concurrent miss beat us to the insert; keep the
+                    # first bound plan so hits stay referentially stable.
+                    self._entries.move_to_end(key)
+                    return existing.plan
+                self._entries[key] = entry
                 if len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.evictions += 1
                     self._publish("evictions")
-            return choice
+        return entry.plan
+
+    def bound(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+        recall_target: float = 1.0,
+    ) -> BoundPlan:
+        """The bound executable plan for a shape — the cache-hit fast
+        path hands the prepared runner straight to the caller.
+
+        Delegates planning to :meth:`choose` (so tests and callers that
+        patch or wrap ``choose`` see every planning request), then reads
+        the bound entry it inserted; only a disabled cache re-binds.
+        """
+        key = self.key(n, k, dtype, profile, recall_target)
+        plan = self.choose(n, k, dtype, profile, recall_target=recall_target)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+        return bind_plan(plan, self.planner.device)
 
     # -- introspection ----------------------------------------------------
 
@@ -134,18 +185,20 @@ class PlanCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
         with self._lock:
+            total = self.hits + self.misses
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "size": len(self._entries),
                 "capacity": self.capacity,
-                "hit_rate": self.hit_rate,
+                "hit_rate": self.hits / total if total else 0.0,
             }
 
     def clear(self) -> None:
@@ -155,6 +208,7 @@ class PlanCache:
     # -- metrics ----------------------------------------------------------
 
     def _publish(self, event: str) -> None:
+        """Caller must hold the lock (size gauge reads the map)."""
         registry = self.metrics if self.metrics is not None else obs.active_metrics()
         if registry is None:
             return

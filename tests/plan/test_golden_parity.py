@@ -1,0 +1,134 @@
+"""Golden-plan parity: the IR planner must decide exactly like the
+pre-refactor planner.
+
+The goldens under ``goldens/`` were captured from the string-labelled
+``PlanChoice`` planner *before* the typed-IR refactor:
+
+* ``planner_decisions.json`` — the chosen algorithm, full fallback order,
+  infeasible set, expected recall, and approximate configuration for a
+  grid of (n, k, dtype, recall_target, device);
+* ``result_parity.json`` — bit-exact result digests for ``topk()`` and
+  the SQL engine across strategies, plus each query's simulated cost.
+
+Any diff here means the refactor changed a *decision* or an *answer*,
+not just plumbing.  Regenerate the goldens only with a deliberate
+planner change, never to make this test pass.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.planner import TopKPlanner
+from repro.core.topk import topk
+from repro.engine import Session, generate_tweets
+from repro.errors import ReproError
+from repro.gpu.device import get_device
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def _load(name):
+    with open(GOLDENS / name) as handle:
+        return json.load(handle)
+
+
+def _digest(*arrays):
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()[:16]
+
+
+class TestPlannerDecisions:
+    def test_golden_grid_decides_identically(self):
+        golden = _load("planner_decisions.json")
+        assert golden["format"] == "repro-golden-plans"
+        planners = {}
+        mismatches = []
+        for entry in golden["entries"]:
+            planner = planners.setdefault(
+                entry["device"], TopKPlanner(get_device(entry["device"]))
+            )
+            try:
+                choice = planner.choose(
+                    entry["n"],
+                    entry["k"],
+                    np.dtype(entry["dtype"]),
+                    recall_target=entry["recall_target"],
+                )
+            except ReproError as error:
+                actual = {"error": type(error).__name__}
+            else:
+                actual = {
+                    "algorithm": choice.algorithm,
+                    "fallback_chain": choice.fallback_chain(),
+                    "infeasible": sorted(choice.infeasible),
+                    "expected_recall": round(choice.expected_recall, 12),
+                    "approx_config": (
+                        list(choice.approx_config.key())
+                        if choice.approx_config is not None
+                        else None
+                    ),
+                }
+                # The plan tree must agree with the flat decision record:
+                # same winner, same degradation order.
+                assert choice.winner() is choice.root.alternatives[0]
+                assert choice.root.chain() == choice.fallback_chain()
+            expected = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("device", "n", "k", "dtype", "recall_target")
+            }
+            if actual != expected:
+                mismatches.append((entry, actual))
+        assert mismatches == [], (
+            f"{len(mismatches)} of {len(golden['entries'])} planner "
+            f"decisions diverged; first: {mismatches[0]}"
+        )
+
+
+class TestResultParity:
+    def test_topk_answers_are_bit_identical(self):
+        golden = _load("result_parity.json")
+        rng = np.random.default_rng(7)
+        replayed = 0
+        for n in [1 << 10, 1 << 14]:
+            for k in [1, 8, 100, 256]:
+                for dtype in ["float32", "uint32"]:
+                    data = (rng.random(n) * 1e6).astype(dtype)
+                    for recall in [1.0, 0.9]:
+                        entry = golden["topk"][replayed]
+                        assert (entry["n"], entry["k"]) == (n, k)
+                        assert entry["dtype"] == dtype
+                        assert entry["recall_target"] == recall
+                        result = topk(data, k, recall_target=recall)
+                        assert result.algorithm == entry["algorithm"], entry
+                        assert (
+                            _digest(result.values, result.indices)
+                            == entry["digest"]
+                        ), entry
+                        replayed += 1
+        assert replayed == len(golden["topk"])
+
+    def test_sql_answers_and_costs_are_bit_identical(self):
+        golden = _load("result_parity.json")
+        session = Session()
+        session.register(generate_tweets(1 << 12, seed=3))
+        for entry in golden["sql"]:
+            result = session.sql(
+                entry["sql"],
+                strategy=entry["strategy"],
+                model_rows=250_000_000,
+            )
+            digest = _digest(
+                *[result.columns[name] for name in sorted(result.columns)]
+            )
+            assert digest == entry["digest"], entry
+            assert round(result.simulated_ms(), 9) == entry["simulated_ms"], (
+                entry
+            )
+            assert result.trace.num_launches == entry["launches"], entry

@@ -1,0 +1,177 @@
+"""CI gate: EXPLAIN plan trees must match the committed goldens.
+
+Renders ``repro explain`` (the CLI) and SQL ``EXPLAIN SELECT ...`` (the
+session prefix) for a set of representative queries and diffs the plan
+trees against the goldens committed under ``tests/plan/goldens/explain/``.
+Both surfaces must agree with each other *and* with the goldens; the
+``--json`` emission is additionally validated for shape (every strategy
+carries a Fallback-rooted plan tree, and the approximate query's tree
+contains an ApproxTopK node).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_plan_goldens.py          # check
+    PYTHONPATH=src python tools/check_plan_goldens.py --update # regenerate
+
+Regenerate only with a deliberate planner or EXPLAIN change; the diff is
+the review artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import io
+import json
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "plan" / "goldens" / "explain"
+
+ROWS = 4096
+SEED = 3
+MODEL_ROWS = 250_000_000
+
+#: (golden name, query) — one per EXPLAIN-relevant query shape.
+CASES = [
+    (
+        "order-by",
+        "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50",
+    ),
+    (
+        "filtered",
+        "SELECT id, likes_count FROM tweets WHERE tweet_time < 0.5 "
+        "ORDER BY likes_count DESC LIMIT 25",
+    ),
+    (
+        "group-by",
+        "SELECT uid, COUNT() AS num_tweets FROM tweets "
+        "GROUP BY uid ORDER BY num_tweets DESC LIMIT 10",
+    ),
+    (
+        "approx",
+        "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 64 "
+        "APPROX_TOPK(0.9)",
+    ),
+]
+
+
+def cli_explain(sql: str, as_json: bool = False) -> str:
+    """``repro explain`` output, captured."""
+    from repro.cli import main
+
+    argv = [
+        "explain", sql,
+        "--rows", str(ROWS),
+        "--seed", str(SEED),
+        "--model-rows", str(MODEL_ROWS),
+    ]
+    if as_json:
+        argv.append("--json")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = main(argv)
+    if status != 0:
+        raise SystemExit(f"repro explain failed with status {status}: {sql}")
+    return buffer.getvalue()
+
+
+def sql_explain(sql: str) -> str:
+    """``Session.sql("EXPLAIN ...")`` rendering."""
+    from repro.engine import Session, generate_tweets
+
+    session = Session()
+    session.register(generate_tweets(ROWS, seed=SEED))
+    return session.sql(f"EXPLAIN {sql}", model_rows=MODEL_ROWS).render()
+
+
+def check_json_shape(name: str, sql: str, problems: list[str]) -> None:
+    doc = json.loads(cli_explain(sql, as_json=True))
+    if doc.get("format") != "repro-plan":
+        problems.append(f"{name}: --json format tag is {doc.get('format')!r}")
+        return
+    kinds: set[str] = set()
+    for strategy in doc["strategies"]:
+        tree = strategy.get("plan")
+        if tree is None:
+            problems.append(
+                f"{name}: strategy {strategy['strategy']!r} has no plan tree"
+            )
+            continue
+        if tree["kind"] != "Fallback":
+            problems.append(
+                f"{name}: {strategy['strategy']!r} plan root is "
+                f"{tree['kind']!r}, expected Fallback"
+            )
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            kinds.add(node["kind"])
+            stack.extend(node.get("children", []))
+    if "TopK" not in kinds or "Scan" not in kinds:
+        problems.append(f"{name}: plan trees missing TopK/Scan nodes ({kinds})")
+    if name == "approx" and "ApproxTopK" not in kinds:
+        problems.append(f"{name}: approximate query rendered no ApproxTopK node")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the goldens from the current EXPLAIN output",
+    )
+    arguments = parser.parse_args(argv)
+
+    problems: list[str] = []
+    for name, sql in CASES:
+        rendered = cli_explain(sql)
+        via_sql = sql_explain(sql)
+        if via_sql.rstrip("\n") != rendered.rstrip("\n"):
+            problems.append(
+                f"{name}: SQL EXPLAIN and `repro explain` disagree:\n"
+                + "\n".join(
+                    difflib.unified_diff(
+                        via_sql.splitlines(),
+                        rendered.splitlines(),
+                        "sql-explain",
+                        "repro-explain",
+                        lineterm="",
+                    )
+                )
+            )
+        golden_path = GOLDEN_DIR / f"{name}.txt"
+        if arguments.update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(rendered)
+            print(f"wrote {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            problems.append(f"{name}: missing golden {golden_path}")
+            continue
+        golden = golden_path.read_text()
+        if golden != rendered:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    golden.splitlines(),
+                    rendered.splitlines(),
+                    f"goldens/explain/{name}.txt",
+                    "current",
+                    lineterm="",
+                )
+            )
+            problems.append(f"{name}: plan tree changed:\n{diff}")
+        check_json_shape(name, sql, problems)
+
+    if arguments.update:
+        return 0
+    for problem in problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(CASES)} EXPLAIN plan trees match the goldens")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
