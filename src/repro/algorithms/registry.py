@@ -42,6 +42,14 @@ def _approx_bucket_factory(device: DeviceSpec | None) -> TopKAlgorithm:
     return ApproxBucketTopK(device)
 
 
+def _sharded_factory(device: DeviceSpec | None) -> TopKAlgorithm:
+    # Default shard count; callers that planned a specific Merge tree
+    # resolve through create_for_node, which carries the partition count.
+    from repro.sharding.executor import ShardedTopK
+
+    return ShardedTopK(device)
+
+
 _REGISTRY: dict[str, AlgorithmFactory] = {
     "sort": SortTopK,
     "per-thread": PerThreadTopK,
@@ -51,6 +59,7 @@ _REGISTRY: dict[str, AlgorithmFactory] = {
     "bitonic": _bitonic_factory,
     "bitonic-sort": _bitonic_sort_factory,
     "approx-bucket": _approx_bucket_factory,
+    "sharded": _sharded_factory,
 }
 
 #: The five algorithms compared in Section 6, in the paper's order.
@@ -82,14 +91,28 @@ def create_for_node(
 
     The registry's IR dispatch: :class:`~repro.plan.nodes.ApproxTopK`
     nodes carry their full bucket configuration and map to the bucketed
-    operator; :class:`~repro.plan.nodes.TopK` nodes map through the name
-    registry, with the ``cpu-heap`` sentinel resolving to the hand-rolled
-    CPU priority queue (the terminal fallback stage, which needs no
-    working device).  ``flags`` are forwarded to kernels that take
-    bitonic optimization flags.
+    operator; :class:`~repro.plan.nodes.Merge` nodes carry their partition
+    count and per-shard kernel and map to the scatter-gather executor;
+    :class:`~repro.plan.nodes.TopK` nodes map through the name registry,
+    with the ``cpu-heap`` sentinel resolving to the hand-rolled CPU
+    priority queue (the terminal fallback stage, which needs no working
+    device).  ``flags`` are forwarded to kernels that take bitonic
+    optimization flags.
     """
-    from repro.plan.nodes import CPU_FALLBACK, ApproxTopK, TopK
+    from repro.plan.nodes import CPU_FALLBACK, ApproxTopK, Merge, TopK
 
+    if isinstance(node, Merge):
+        from repro.sharding.executor import ShardedTopK
+
+        inner = None
+        if node.inputs:
+            inner = getattr(node.inputs[0], "algorithm", None)
+        return ShardedTopK(
+            device,
+            shards=max(1, len(node.inputs)),
+            inner=inner,
+            flags=flags,
+        )
     if isinstance(node, ApproxTopK):
         from repro.approx.bucketed import ApproxBucketTopK
         from repro.bitonic.optimizations import FULL
@@ -100,7 +123,7 @@ def create_for_node(
     if not isinstance(node, TopK):
         raise InvalidParameterError(
             f"cannot bind a kernel to a {type(node).__name__} node; "
-            f"only TopK and ApproxTopK operators execute directly"
+            f"only TopK, ApproxTopK, and Merge operators execute directly"
         )
     if node.algorithm == CPU_FALLBACK:
         from repro.cpu.pq_topk import HandPqTopK

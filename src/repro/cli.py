@@ -15,6 +15,7 @@ Examples::
     python -m repro chaos --seed 0 --trials 50
     python -m repro serve-bench --queries 1000 --shapes 4 --n 512 --k 8
     python -m repro approx-bench --baseline benchmarks/baselines/BENCH_approx.json
+    python -m repro shard-bench --baseline benchmarks/baselines/BENCH_sharding.json
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -94,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the plan (with each strategy's physical plan tree) "
              "as JSON instead of the rendered text",
+    )
+    explain.add_argument(
+        "--shards", type=int, default=1,
+        help="partition budget; above 1 the exact strategies plan a Merge "
+             "over per-shard Scan→TopK subtrees",
     )
 
     for name, help_text in [
@@ -213,6 +219,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="gate the run against a committed BENCH_approx.json baseline",
     )
+
+    shard = commands.add_parser(
+        "shard-bench",
+        help="scale one large top-k across simulated devices and check the "
+             "partition-parallel scaling curve (exactness + monotonicity)",
+    )
+    shard.add_argument(
+        "--n", type=int, default=None, dest="model_n",
+        help="modeled input size (default: 2^26)",
+    )
+    shard.add_argument("--k", type=int, default=None, help="result size")
+    shard.add_argument(
+        "--shards", type=int, action="append", dest="shard_counts",
+        default=None,
+        help="shard count to measure; repeatable, strictly increasing "
+             "(default: 1 2 4 8)",
+    )
+    shard.add_argument(
+        "--functional-cap", type=int, default=None,
+        help="functional array size cap (the trace still models --n)",
+    )
+    shard.add_argument("--seed", type=int, default=None)
+    shard.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    shard.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    shard.add_argument("--out", default=None,
+                       help="also write the JSON report to this path")
+    shard.add_argument(
+        "--baseline", default=None,
+        help="gate the run against a committed BENCH_sharding.json baseline",
+    )
     return parser
 
 
@@ -261,7 +302,7 @@ def _command_explain(arguments) -> int:
     from repro.engine.session import Session
     from repro.engine.twitter import generate_tweets
 
-    session = Session()
+    session = Session(shards=arguments.shards)
     session.register(generate_tweets(arguments.rows, arguments.seed))
     plan = session.explain(arguments.sql, model_rows=arguments.model_rows)
     if arguments.json:
@@ -442,6 +483,73 @@ def _command_approx_bench(arguments) -> int:
     return status
 
 
+def _command_shard_bench(arguments) -> int:
+    import json
+
+    from repro.sharding import (
+        ShardWorkload,
+        check_baseline,
+        run_sharding_benchmark,
+    )
+
+    defaults = ShardWorkload()
+    report = run_sharding_benchmark(
+        ShardWorkload(
+            model_n=(
+                arguments.model_n
+                if arguments.model_n is not None
+                else defaults.model_n
+            ),
+            k=arguments.k if arguments.k is not None else defaults.k,
+            shard_counts=(
+                tuple(arguments.shard_counts)
+                if arguments.shard_counts
+                else defaults.shard_counts
+            ),
+            functional_cap=(
+                arguments.functional_cap
+                if arguments.functional_cap is not None
+                else defaults.functional_cap
+            ),
+            seed=arguments.seed if arguments.seed is not None else defaults.seed,
+        ),
+        device=get_device(arguments.device),
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    status = 0
+    if not report.identical:
+        print(
+            "error: sharded results are not bit-equal to the single-device "
+            "reference",
+            file=sys.stderr,
+        )
+        status = 1
+    if not report.monotonic:
+        print(
+            "error: simulated time does not improve monotonically across "
+            "the gated shard counts",
+            file=sys.stderr,
+        )
+        status = 1
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"baseline regression: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -462,6 +570,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_serve_bench(arguments)
         if arguments.command == "approx-bench":
             return _command_approx_bench(arguments)
+        if arguments.command == "shard-bench":
+            return _command_shard_bench(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

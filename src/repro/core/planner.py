@@ -46,6 +46,7 @@ class TopKPlanner:
         dtype: np.dtype = np.dtype(np.float32),
         profile: WorkloadProfile = UNIFORM_FLOAT,
         recall_target: float = 1.0,
+        max_shards: int = 1,
     ) -> TopKPlan:
         """Rank all feasible algorithms and return the cheapest as a
         typed physical plan (a :class:`~repro.plan.TopKPlan` whose root is
@@ -57,6 +58,16 @@ class TopKPlanner:
         predicted time beats every exact algorithm.  At the default 1.0 the
         approximate model is never even constructed — the decision is
         bit-identical to the exact-only planner.
+
+        ``max_shards`` above 1 additionally lets the planner consider
+        partition-parallel plans: when n reaches the per-device threshold
+        (:data:`~repro.costmodel.sharding_model.SHARD_MIN_ROWS`) and the
+        sharding cost model beats every single-device candidate, the plan's
+        root becomes a :class:`~repro.plan.Merge` over per-shard
+        ``Scan -> TopK`` subtrees, with the exact single-device ranking as
+        its fallback alternatives.  At the default 1 the sharding model is
+        never consulted — decisions are bit-identical to the single-device
+        planner.
         """
         if n <= 0 or k <= 0 or k > n:
             raise InvalidParameterError(
@@ -65,6 +76,16 @@ class TopKPlanner:
         if not 0.0 < recall_target <= 1.0:
             raise InvalidParameterError(
                 f"recall_target must be in (0, 1], got {recall_target}"
+            )
+        if isinstance(max_shards, bool) or not isinstance(
+            max_shards, (int, np.integer)
+        ):
+            raise InvalidParameterError(
+                f"max_shards must be an integer, got {type(max_shards).__name__}"
+            )
+        if max_shards < 1:
+            raise InvalidParameterError(
+                f"max_shards must be at least 1, got {max_shards}"
             )
         dtype = np.dtype(dtype)
         with obs.span(
@@ -111,6 +132,53 @@ class TopKPlanner:
                     best_name = "approx-bucket"
                     best_time = approx_time
                     ranking.insert(0, (best_name, best_time))
+            shard_root = None
+            chosen_shards = 1
+            if max_shards > 1 and approx_config is None:
+                from repro.costmodel.sharding_model import (
+                    SHARD_MIN_ROWS,
+                    choose_shards,
+                )
+
+                choice = None
+                if n >= SHARD_MIN_ROWS:
+                    choice = choose_shards(
+                        n, k, dtype, profile, self.device, max_shards
+                    )
+                if (
+                    choice is not None
+                    and choice.shards > 1
+                    and choice.seconds < best_time
+                ):
+                    from repro.plan.nodes import Fallback
+                    from repro.plan.plan import build_fallback
+                    from repro.sharding.partition import build_sharded_plan
+
+                    merge = build_sharded_plan(
+                        n,
+                        k,
+                        shards=choice.shards,
+                        dtype=str(dtype),
+                        algorithm=choice.inner,
+                        predicted_seconds=choice.seconds,
+                    )
+                    # The single-device ranking stays behind the sharded
+                    # winner, so a lost shard fleet degrades through the
+                    # same chain a single device would.
+                    exact = build_fallback(
+                        ranking,
+                        n=n,
+                        k=k,
+                        dtype=str(dtype),
+                        recall_target=recall_target,
+                    )
+                    shard_root = Fallback(
+                        alternatives=(merge, *exact.alternatives)
+                    )
+                    chosen_shards = choice.shards
+                    best_name = "sharded"
+                    best_time = choice.seconds
+                    ranking.insert(0, (best_name, best_time))
             plan = TopKPlan(
                 algorithm=best_name,
                 predicted_seconds=best_time,
@@ -124,6 +192,8 @@ class TopKPlanner:
                 dtype=str(dtype),
                 profile=profile.name,
                 device=self.device.name,
+                root=shard_root,
+                shards=chosen_shards,
             )
             span.set(
                 algorithm=best_name,

@@ -18,6 +18,12 @@ from repro.costmodel.other_models import (
     expected_heap_inserts,
 )
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
+from repro.costmodel.sharding_model import (
+    SHARD_MIN_ROWS,
+    ShardChoice,
+    choose_shards,
+    predict_sharded_seconds,
+)
 from repro.costmodel.whatif import (
     CrossoverPoint,
     crossover_vs_bandwidth_ratio,
@@ -40,7 +46,11 @@ __all__ = [
     "PerThreadModel",
     "expected_heap_inserts",
     "RadixSelectModel",
+    "SHARD_MIN_ROWS",
+    "ShardChoice",
     "SortModel",
+    "choose_shards",
+    "predict_sharded_seconds",
     "CrossoverPoint",
     "crossover_vs_bandwidth_ratio",
     "sweep_devices",

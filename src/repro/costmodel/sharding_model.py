@@ -1,0 +1,139 @@
+"""Cost model for partition-parallel (sharded) execution.
+
+Extends the Section 7 single-device models with a shard-count term: a
+sharded plan's predicted time is the best single-device model evaluated
+at *per-shard* scale (the devices run concurrently, so the critical path
+is one shard's work) plus the scatter-gather overheads the executor's
+trace charges — the PCIe gather of the per-shard candidates and the
+final merge kernel.
+
+The per-device threshold :data:`SHARD_MIN_ROWS` keeps the planner from
+sharding small inputs, where the fixed gather/merge overhead exceeds the
+saved kernel time and where a single device is comfortably within its
+memory budget anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import InvalidParameterError, ResourceExhaustedError
+from repro.gpu.device import DeviceSpec, get_device
+
+#: Smallest n the planner considers sharding: one device's comfortable
+#: capacity (2^22 rows — well under the crossover where the per-shard
+#: kernel saving outweighs the fixed gather/merge overhead).
+SHARD_MIN_ROWS = 1 << 22
+
+#: Row-id bytes per gathered candidate (matches the executor's trace).
+ROW_ID_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ShardChoice:
+    """The cost model's pick: shard count, predicted time, inner kernel."""
+
+    shards: int
+    seconds: float
+    inner: str
+
+
+def _shard_candidates(max_shards: int, n: int) -> list[int]:
+    """Power-of-two shard counts to evaluate, capped at ``max_shards``
+    and at one row per shard."""
+    counts = []
+    shards = 1
+    while shards <= max_shards and shards <= n:
+        counts.append(shards)
+        shards *= 2
+    return counts
+
+
+def predict_sharded_seconds(
+    n: int,
+    k: int,
+    dtype: np.dtype = np.dtype(np.float32),
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+    device: DeviceSpec | None = None,
+    shards: int = 2,
+) -> tuple[float, str] | None:
+    """Predicted seconds of an N-shard plan, and its inner kernel.
+
+    The critical path is the cheapest feasible single-device model at
+    per-shard scale (``ceil(n / shards)`` rows, k clamped to the shard),
+    plus the candidate gather over PCIe and the merge kernel's global
+    traffic.  Returns None when no model is feasible at per-shard scale.
+    """
+    from repro.costmodel.bitonic_model import BitonicModel
+    from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
+    from repro.costmodel.radix_model import RadixSelectModel, SortModel
+
+    device = device or get_device()
+    dtype = np.dtype(dtype)
+    per_shard = -(-n // shards)
+    local_k = min(k, per_shard)
+    best: tuple[float, str] | None = None
+    for model_type in (
+        BitonicModel,
+        RadixSelectModel,
+        SortModel,
+        PerThreadModel,
+        BucketSelectModel,
+    ):
+        model = model_type(device)
+        if not model.supports(per_shard, local_k, dtype):
+            continue
+        try:
+            seconds = model.predict_seconds(per_shard, local_k, dtype, profile)
+        except ResourceExhaustedError:
+            continue
+        if best is None or seconds < best[0]:
+            best = (seconds, model.algorithm)
+    if best is None:
+        return None
+    candidate_bytes = float(shards * local_k) * (dtype.itemsize + ROW_ID_BYTES)
+    gather = device.pcie_transfer_time(candidate_bytes)
+    merge = device.global_read_time(
+        candidate_bytes + float(k) * (dtype.itemsize + ROW_ID_BYTES)
+    ) + device.kernel_launch_overhead
+    return best[0] + gather + merge, best[1]
+
+
+def choose_shards(
+    n: int,
+    k: int,
+    dtype: np.dtype = np.dtype(np.float32),
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+    device: DeviceSpec | None = None,
+    max_shards: int = 1,
+) -> ShardChoice | None:
+    """The cheapest shard count (a power of two up to ``max_shards``).
+
+    Returns None when nothing can be predicted (no feasible inner model
+    at any candidate count) — the planner then plans single-device.
+    """
+    if isinstance(max_shards, bool) or not isinstance(
+        max_shards, (int, np.integer)
+    ):
+        raise InvalidParameterError(
+            f"max_shards must be an integer, got {type(max_shards).__name__}"
+        )
+    if max_shards < 1:
+        raise InvalidParameterError(
+            f"max_shards must be at least 1, got {max_shards}"
+        )
+    device = device or get_device()
+    best: ShardChoice | None = None
+    for shards in _shard_candidates(int(max_shards), n):
+        predicted = predict_sharded_seconds(
+            n, k, dtype, profile, device, shards
+        )
+        if predicted is None:
+            continue
+        seconds, inner = predicted
+        if best is None or seconds < best.seconds:
+            best = ShardChoice(shards=shards, seconds=seconds, inner=inner)
+    return best

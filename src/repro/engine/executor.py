@@ -47,6 +47,7 @@ from repro.plan import (
     ApproxTopK,
     Fallback,
     Filter,
+    Merge,
     PlanNode,
     Scan,
     build_fallback,
@@ -98,6 +99,7 @@ class QueryExecutor:
         flags: OptimizationFlags = FULL,
         fault_retries: int = FUNCTIONAL_RETRIES,
         recall_target: float = 1.0,
+        shards: int = 1,
     ):
         if fault_retries < 0:
             raise InvalidParameterError(
@@ -107,11 +109,20 @@ class QueryExecutor:
             raise InvalidParameterError(
                 f"recall_target must be in (0, 1], got {recall_target}"
             )
+        if isinstance(shards, bool) or not isinstance(shards, (int, np.integer)):
+            raise InvalidParameterError(
+                f"shards must be an integer, got {type(shards).__name__}"
+            )
+        if shards < 1:
+            raise InvalidParameterError(
+                f"shards must be at least 1, got {shards}"
+            )
         self.table = table
         self.device = device or get_device()
         self.flags = flags
         self.fault_retries = fault_retries
         self.recall_target = recall_target
+        self.shards = int(shards)
 
     def sql(
         self,
@@ -224,6 +235,7 @@ class QueryExecutor:
     def _selection_plan(
         self,
         query: Query,
+        strategy: str,
         model_rows: int,
         matched_model: int,
         k: int,
@@ -235,16 +247,19 @@ class QueryExecutor:
 
         The chain mirrors the engine's fault posture exactly: the chosen
         operator (the approximate bucketed selection when planned, the
-        bitonic network otherwise), anchored on the CPU oracle — bounded
-        kernel retries happen *within* a stage, the oracle is the terminal
-        stage that cannot lose a device.
+        partition-parallel Merge when the executor holds multiple shards,
+        the bitonic network otherwise), anchored on the CPU oracle —
+        bounded kernel retries happen *within* a stage, the oracle is the
+        terminal stage that cannot lose a device.  Sharding applies only
+        to exact single-key top-k strategies: approximate plans and the
+        full-sort baseline stay single-device.
         """
         ranked: list[tuple[str, float | None]] = []
         if approx_config is not None:
             ranked.append(("approx-bucket", None))
         else:
             ranked.append(("bitonic", None))
-        return build_fallback(
+        fallback = build_fallback(
             ranked,
             n=matched_model,
             k=k,
@@ -255,6 +270,25 @@ class QueryExecutor:
             terminal_cpu=True,
             child=self._input_plan(query, model_rows),
         )
+        num_keys = len(query.order_by_keys) if query.order_by_keys else 1
+        if (
+            self.shards > 1
+            and approx_config is None
+            and strategy in ("topk", "fused")
+            and num_keys == 1
+        ):
+            from repro.sharding.partition import build_sharded_plan
+
+            merge = build_sharded_plan(
+                matched_model,
+                k,
+                shards=min(self.shards, matched_model),
+                dtype="float32",
+                algorithm="bitonic",
+                source=self.table.name,
+            )
+            fallback = Fallback(alternatives=(merge, *fallback.alternatives))
+        return fallback
 
     # -- ORDER BY ... LIMIT k -------------------------------------------
 
@@ -298,6 +332,7 @@ class QueryExecutor:
         with faults.suspended():
             plan = self._selection_plan(
                 query,
+                strategy,
                 model_rows,
                 matched_model,
                 max(k, 1),
@@ -334,7 +369,7 @@ class QueryExecutor:
             trace = self._selection_trace(
                 query, strategy, model_rows, matched_model, k, approx_trace
             )
-            if approx_trace is not None:
+            if approx_trace is not None and approx_plan is not None:
                 trace.notes["approx.recall_target"] = effective_recall
         return QueryResult(
             columns, trace, strategy, self.device, len(self.table),
@@ -358,8 +393,8 @@ class QueryExecutor:
         the terminal ``cpu-heap`` stage is the oracle, which has no device
         to lose and answers exactly.  Returns the selected indices plus
         the operator's own trace for stages that model one (the
-        approximate operator) — None means "account with the exact
-        query-level trace".
+        approximate and sharded operators) — None means "account with the
+        exact query-level trace".
 
         The functional selection is an implementation detail, not a
         modeled kernel; its launches are re-accounted by the query's own
@@ -370,6 +405,9 @@ class QueryExecutor:
         if isinstance(winner, ApproxTopK):
             span_name = "phase:functional-approx-topk"
             span_attrs["buckets"] = winner.buckets
+        elif isinstance(winner, Merge):
+            span_name = "phase:functional-sharded-topk"
+            span_attrs["shards"] = len(winner.inputs)
         else:
             span_name = "phase:functional-topk"
         retries = 0
@@ -393,14 +431,14 @@ class QueryExecutor:
                                 k,
                                 model_n=(
                                     matched_model
-                                    if isinstance(node, ApproxTopK)
+                                    if isinstance(node, (ApproxTopK, Merge))
                                     else None
                                 ),
                             )
                             outcome = (
                                 result.indices,
                                 result.trace
-                                if isinstance(node, ApproxTopK)
+                                if isinstance(node, (ApproxTopK, Merge))
                                 else None,
                             )
                             break
@@ -473,7 +511,16 @@ class QueryExecutor:
         if operator_trace is not None:
             candidate_bytes_per_row = CANDIDATE_ROW_BYTES
             first = operator_trace.kernels[0]
-            if strategy == "fused":
+            if "sharding.shards" in operator_trace.notes:
+                # Sharded selections always materialize: the scatter needs
+                # per-shard candidate arrays, and the concurrent kernel's
+                # directly-modeled seconds must not be rewritten into a
+                # buffer-filler.
+                self._materialize_kernel(
+                    trace, query, scan_width, model_rows, matched_rows,
+                    candidate_bytes_per_row,
+                )
+            elif strategy == "fused":
                 self._fuse_scan_kernel(
                     first, scan_width, model_rows, f"fused-{first.name}"
                 )

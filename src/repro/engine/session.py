@@ -50,6 +50,7 @@ class Session:
         trace: bool = False,
         fault_retries: int = FUNCTIONAL_RETRIES,
         recall_target: float = 1.0,
+        shards: int = 1,
     ):
         self.device = device or get_device()
         self.flags = flags
@@ -61,6 +62,9 @@ class Session:
         #: Session-wide default recall floor; queries override it with an
         #: explicit APPROX_TOPK(r) clause.  1.0 keeps every query exact.
         self.recall_target = recall_target
+        #: Partition count for exact top-k selections; above 1 the engine
+        #: plans a Merge over per-shard subtrees (the sharding layer).
+        self.shards = shards
         self._tables: dict[str, Table] = {}
         self.observation: obs.Observation | None = (
             obs.Observation(obs.Tracer(), obs.MetricsRegistry()) if trace else None
@@ -123,6 +127,7 @@ class Session:
                 self.flags,
                 fault_retries=self.fault_retries,
                 recall_target=self.recall_target,
+                shards=self.shards,
             )
             return executor.execute(query, strategy, model_rows)
 
@@ -139,6 +144,7 @@ class Session:
                 self.flags,
                 fault_retries=self.fault_retries,
                 recall_target=self.recall_target,
+                shards=self.shards,
             )
             return explain_query(executor, text, model_rows)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field, fields
 from typing import ClassVar, Iterator
 
@@ -278,13 +279,45 @@ class Fallback(PlanNode):
 
 @dataclass(frozen=True)
 class Merge(PlanNode):
-    """Exact merge of partial results (multi-GPU shards, bucket candidates)."""
+    """Exact merge of partial results (multi-GPU shards, bucket candidates).
+
+    The root of a sharded plan: each input is a per-partition
+    ``Scan -> TopK`` subtree whose Scan source carries the shard's row
+    range (``table[start:stop)``), and the merge reproduces the exact
+    global order with deterministic tie-breaking (value descending,
+    lower global row index first).
+    """
 
     kind: ClassVar[str] = "Merge"
 
     inputs: tuple[PlanNode, ...] = ()
     k: int = 1
+    algorithm: str = "sharded"
     predicted_seconds: float | None = None
+
+    def shard_ranges(self) -> list[str]:
+        """Per-child ``[start:stop)`` row ranges, read from the input
+        subtrees' Scan sources (empty for children without one)."""
+        ranges: list[str] = []
+        for node in self.inputs:
+            scan = node.find(Scan)
+            if scan is None:
+                continue
+            match = _SHARD_RANGE.search(scan.source)
+            if match is not None:
+                ranges.append(match.group(0))
+        return ranges
+
+    def label(self) -> str:
+        base = super().label()
+        ranges = self.shard_ranges()
+        if not ranges:
+            return base
+        return f"{base[:-1]}, shards={len(self.inputs)}, ranges={''.join(ranges)})"
+
+
+#: ``[start:stop)`` suffix of a partitioned Scan source.
+_SHARD_RANGE = re.compile(r"\[\d+:\d+\)$")
 
 
 #: Node kinds by name, for deserialization and registry dispatch.

@@ -46,13 +46,16 @@ def request_fingerprint(
     profile: str,
     device: str,
     recall_target: float = 1.0,
+    max_shards: int = 1,
 ) -> str:
     """Stable digest of a *plan request* — everything the planner reads.
 
     This is the serving cache's lookup key: computable before planning,
     and guaranteed to match the fingerprint namespace of plan trees (same
     canonicalization, distinct ``kind``), so two requests collide iff the
-    planner would see the identical question.
+    planner would see the identical question.  ``max_shards`` is part of
+    the request: a sharding-enabled caller must never collide with a
+    single-device one on the same shape.
     """
     canonical = json.dumps(
         {
@@ -63,6 +66,7 @@ def request_fingerprint(
             "profile": str(profile),
             "device": str(device),
             "recall_target": float(recall_target),
+            "max_shards": int(max_shards),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -191,6 +195,8 @@ class TopKPlan:
     device: str = ""
     #: The typed physical-plan tree; synthesized when None.
     root: PlanNode = field(default=None)  # type: ignore[assignment]
+    #: Partition count of a sharded winner (1 for single-device plans).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.root is None:
@@ -273,6 +279,7 @@ class TopKPlan:
             "device": self.device,
             "recall_target": self.recall_target,
             "expected_recall": self.expected_recall,
+            "shards": self.shards,
             "candidates": [
                 {"algorithm": name, "predicted_ms": seconds * 1e3}
                 for name, seconds in self.candidates

@@ -2,7 +2,7 @@
 
 A production serving layer sees millions of queries but only a handful of
 distinct *shapes* — the planner's decision depends only on
-``(n, k, dtype, profile, device, recall_target)``, never on the payload
+``(n, k, dtype, profile, device, recall_target, max_shards)``, never on the payload
 bytes, so its cost-model evaluation (which builds full kernel traces for
 every candidate algorithm) is pure and cacheable.  :class:`PlanCache`
 keys an LRU map on the stable fingerprint of that plan request and stores
@@ -59,12 +59,17 @@ class PlanCache:
         capacity: int = DEFAULT_CAPACITY,
         metrics: obs.MetricsRegistry | None = None,
         enabled: bool = True,
+        max_shards: int = 1,
     ):
         if capacity < 1:
             raise InvalidParameterError(
                 f"plan cache capacity must be at least 1, got {capacity}"
             )
         self.planner = planner or TopKPlanner(device)
+        #: Shard budget forwarded to every planning request.  Part of the
+        #: cache key: a sharding-enabled cache must never serve (or
+        #: poison) single-device fingerprints on the same shape.
+        self.max_shards = max_shards
         self.capacity = capacity
         #: When disabled every lookup replans (and counts as a miss) — the
         #: baseline the serve-bench compares against.
@@ -98,6 +103,7 @@ class PlanCache:
             profile.name,
             self.planner.device.name,
             recall_target,
+            max_shards=self.max_shards,
         )
 
     # -- the memoized calls -----------------------------------------------
@@ -129,7 +135,12 @@ class PlanCache:
         # Plan and bind outside the lock: cost-model evaluation is the
         # expensive part and must not serialize unrelated lookups.
         plan = self.planner.choose(
-            n, k, dtype, profile, recall_target=recall_target
+            n,
+            k,
+            dtype,
+            profile,
+            recall_target=recall_target,
+            max_shards=self.max_shards,
         )
         entry = bind_plan(plan, self.planner.device)
         with self._lock:

@@ -81,6 +81,7 @@ class TopKServer:
         metrics: obs.MetricsRegistry | None = None,
         profile: WorkloadProfile = UNIFORM_FLOAT,
         auto_start: bool = True,
+        max_shards: int = 1,
     ):
         if max_pending < 1:
             raise InvalidParameterError(
@@ -109,6 +110,7 @@ class TopKServer:
             capacity=cache_capacity,
             metrics=self.metrics,
             enabled=enable_cache,
+            max_shards=max_shards,
         )
         self.batcher = CrossQueryBatcher(
             plan_cache=self.plan_cache,

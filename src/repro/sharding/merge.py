@@ -1,0 +1,48 @@
+"""Deterministic k-way merge of per-shard top-k candidates.
+
+Merge semantics are *exactly* the library's canonical total order — the
+one :func:`repro.algorithms.base.reference_topk` defines and every exact
+algorithm reproduces:
+
+* values descending (IEEE-754 NaN ordered last for floats);
+* ties broken by lower **global** row index first.
+
+Because shards are contiguous row ranges, adding each range's start to
+its local indices preserves the intra-shard order, so merging the
+per-shard candidates under this order is bit-equal to running the
+single-device selection on the whole input — the order-safety property
+that makes top-k shardable at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def descending_keys(values: np.ndarray) -> np.ndarray:
+    """Sort keys whose *ascending* order is the canonical descending value
+    order.  Mirrors the key transform of ``reference_topk`` exactly:
+    negation for floats (NaN stays NaN and sorts last), complement for
+    uint64 (negation would wrap), widened negation for other integers.
+    """
+    if values.dtype.kind == "f":
+        return -values
+    if values.dtype == np.uint64:
+        return np.iinfo(np.uint64).max - values
+    return -values.astype(np.int64)
+
+
+def merge_topk(
+    values: np.ndarray, indices: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The global top-k of concatenated per-shard candidates.
+
+    ``values``/``indices`` are the gathered candidates (global row
+    indices); returns ``(values, indices)`` of the k winners in canonical
+    order.  ``np.lexsort`` keys: primary = descending-value transform,
+    secondary = global index — a stable two-key sort, so equal values
+    (and NaN groups) resolve to the lower global row, matching the
+    single-device reference bit for bit.
+    """
+    order = np.lexsort((indices, descending_keys(values)))[:k]
+    return values[order], indices[order]

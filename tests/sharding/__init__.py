@@ -1,0 +1,1 @@
+"""Sharded partition-parallel execution tests."""

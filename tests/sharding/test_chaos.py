@@ -1,0 +1,110 @@
+"""Shard-loss chaos: redistribution keeps the answer exact, cascading
+losses degrade gracefully, and total loss surfaces the typed error that
+composes with the Fallback chain."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.errors import DeviceLostError
+from repro.gpu import faults
+from repro.sharding import ShardedTopK
+from repro.sharding.executor import REDISTRIBUTE_KERNEL
+
+
+def lose(detail_match, nth=1, max_injections=1):
+    return faults.FaultPlan(
+        site="device-launch",
+        fault="device-lost",
+        nth=nth,
+        max_injections=max_injections,
+        match=detail_match,
+    )
+
+
+class TestSingleShardLoss:
+    def test_result_stays_exact(self, rng, device):
+        data = rng.random(4096).astype(np.float32)
+        injector = faults.FaultInjector(seed=0, plans=[lose("shard#1")])
+        with faults.inject(injector):
+            result = ShardedTopK(device, shards=4).run(data, 64)
+        values, indices = reference_topk(data, 64)
+        np.testing.assert_array_equal(result.values, values)
+        np.testing.assert_array_equal(result.indices, indices)
+
+    def test_trace_accounts_the_recovery(self, rng, device):
+        data = rng.random(4096).astype(np.float32)
+        injector = faults.FaultInjector(seed=0, plans=[lose("shard#2")])
+        with faults.inject(injector):
+            result = ShardedTopK(device, shards=4).run(data, 32)
+        names = [kernel.name for kernel in result.trace.kernels]
+        assert REDISTRIBUTE_KERNEL in names
+        assert result.trace.notes["sharding.shards_lost"] == 1.0
+        # One lost range split across the three survivors.
+        assert result.trace.notes["sharding.redistributed"] == 3.0
+
+    def test_recovery_costs_simulated_time(self, rng, device):
+        from repro.gpu.timing import trace_time
+
+        data = rng.random(4096).astype(np.float32)
+        clean = ShardedTopK(device, shards=4).run(data, 32)
+        injector = faults.FaultInjector(seed=0, plans=[lose("shard#0")])
+        with faults.inject(injector):
+            faulty = ShardedTopK(device, shards=4).run(data, 32)
+        assert (
+            trace_time(faulty.trace, device).total
+            > trace_time(clean.trace, device).total
+        )
+
+
+class TestCascadingLoss:
+    def test_redistribute_target_loss_requeues_the_piece(self, rng, device):
+        data = rng.random(4096).astype(np.float32)
+        plans = [lose("shard#1"), lose("shard#0:redistribute")]
+        with faults.inject(faults.FaultInjector(seed=0, plans=plans)):
+            result = ShardedTopK(device, shards=4).run(data, 64)
+        values, indices = reference_topk(data, 64)
+        np.testing.assert_array_equal(result.values, values)
+        np.testing.assert_array_equal(result.indices, indices)
+        assert result.trace.notes["sharding.shards_lost"] == 1.0
+
+    def test_all_launches_lost_raises_the_typed_error(self, rng, device):
+        data = rng.random(1024).astype(np.float32)
+        plans = [
+            faults.FaultPlan(
+                site="device-launch",
+                fault="device-lost",
+                probability=1.0,
+                max_injections=None,
+                match="shard#",
+            )
+        ]
+        with faults.inject(faults.FaultInjector(seed=0, plans=plans)):
+            with pytest.raises(DeviceLostError, match="all 4 shards lost"):
+                ShardedTopK(device, shards=4).run(data, 16)
+
+
+class TestFallbackComposition:
+    def test_resilient_executor_survives_total_shard_loss(self, rng, device):
+        # The sharded stage dies at launch; the chain's next alternative
+        # answers, so the query never fails.
+        from repro.resilience.executor import ResilientExecutor
+        from repro.resilience.retry import NO_RETRY
+
+        data = rng.random(2048).astype(np.float32)
+        plans = [
+            faults.FaultPlan(
+                site="device-launch",
+                fault="device-lost",
+                probability=1.0,
+                max_injections=None,
+                match="shard#",
+            )
+        ]
+        executor = ResilientExecutor(device=device, retry=NO_RETRY)
+        with faults.inject(faults.FaultInjector(seed=0, plans=plans)):
+            result = executor.run(data, 32, algorithm="sharded")
+        assert result.algorithm != "sharded"
+        values, indices = reference_topk(data, 32)
+        np.testing.assert_array_equal(result.values, values)
+        np.testing.assert_array_equal(result.indices, indices)

@@ -1,0 +1,101 @@
+"""Engine and serving integration: a sharded Session answers bit-equal
+to the default one, EXPLAIN renders the Merge tree, and the serving
+layer keys its cache on the shard budget."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Session, generate_tweets
+from repro.errors import InvalidParameterError
+from repro.serving import TopKServer
+from repro.serving.plan_cache import PlanCache
+
+ROWS = 1 << 12
+SQL = "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 50"
+
+
+def make_session(shards=1, **kwargs):
+    session = Session(shards=shards, **kwargs)
+    session.register(generate_tweets(ROWS, seed=7))
+    return session
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("strategy", ["sort", "topk", "fused"])
+    def test_sharded_results_match_the_default_session(self, strategy):
+        base = make_session().sql(SQL, strategy=strategy)
+        sharded = make_session(shards=4).sql(SQL, strategy=strategy)
+        np.testing.assert_array_equal(
+            base.column("id"), sharded.column("id")
+        )
+
+    def test_filtered_query_parity(self):
+        sql = (
+            "SELECT id, likes_count FROM tweets WHERE tweet_time < 0.5 "
+            "ORDER BY likes_count DESC LIMIT 25"
+        )
+        base = make_session().sql(sql)
+        sharded = make_session(shards=4).sql(sql)
+        np.testing.assert_array_equal(base.column("id"), sharded.column("id"))
+        np.testing.assert_array_equal(
+            base.column("likes_count"), sharded.column("likes_count")
+        )
+
+    def test_sharded_kernel_sequence(self):
+        result = make_session(shards=4).sql(SQL, strategy="topk")
+        names = [kernel.name for kernel in result.trace.kernels]
+        assert "shard-topk-concurrent" in names
+        assert "shard-gather" in names
+        assert "shard-merge" in names
+
+    def test_sort_strategy_never_shards(self):
+        result = make_session(shards=4).sql(SQL, strategy="sort")
+        names = [kernel.name for kernel in result.trace.kernels]
+        assert "shard-topk-concurrent" not in names
+
+    @pytest.mark.parametrize("bad", [0, -3, True, 2.5])
+    def test_invalid_shard_counts_raise_at_query_time(self, bad):
+        with pytest.raises(InvalidParameterError):
+            make_session(shards=bad).sql(SQL)
+
+
+class TestExplain:
+    def test_explain_renders_the_merge_tree(self):
+        plan = make_session(shards=4).explain(SQL)
+        rendered = plan.render()
+        assert "Merge(" in rendered
+        assert "shards=4" in rendered
+        assert "tweets[" in rendered
+
+    def test_default_session_explain_has_no_merge(self):
+        rendered = make_session().explain(SQL).render()
+        assert "Merge(" not in rendered
+
+
+class TestServing:
+    def test_cache_keys_differ_by_shard_budget(self, device):
+        single = PlanCache(device=device, max_shards=1)
+        sharded = PlanCache(device=device, max_shards=8)
+        key_args = (1 << 26, 256, np.dtype(np.float32))
+        assert single.key(*key_args) != sharded.key(*key_args)
+
+    def test_sharded_cache_serves_exact_answers(self, rng, device):
+        from repro.algorithms.base import reference_topk
+
+        cache = PlanCache(device=device, max_shards=8)
+        data = rng.random(1 << 14).astype(np.float32)
+        bound = cache.bound(len(data), 32)
+        result = bound.run(data, 32)
+        values, indices = reference_topk(data, 32)
+        np.testing.assert_array_equal(result.values, values)
+        np.testing.assert_array_equal(result.indices, indices)
+
+    def test_server_with_a_shard_budget_answers_exactly(self, rng):
+        from repro.algorithms.base import reference_topk
+
+        data = rng.random(1 << 12).astype(np.float32)
+        with TopKServer(max_shards=8) as server:
+            outcome = server.query(data, 16)
+        values, indices = reference_topk(data, 16)
+        np.testing.assert_array_equal(outcome.values, values)
+        np.testing.assert_array_equal(outcome.indices, indices)

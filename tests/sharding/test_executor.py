@@ -1,0 +1,166 @@
+"""The scatter-gather executor: bit-equality to the single-device
+reference across the property matrix, trace accounting, scaling, and
+observability."""
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.algorithms.base import reference_topk
+from repro.errors import InvalidParameterError
+from repro.gpu.timing import trace_time
+from repro.sharding import ShardedTopK, partition_ranges
+from repro.sharding.executor import (
+    CONCURRENT_KERNEL,
+    GATHER_KERNEL,
+    MERGE_KERNEL,
+    REDISTRIBUTE_KERNEL,
+)
+
+
+def assert_exact(data, k, shards, device, model_n=None):
+    result = ShardedTopK(device, shards=shards).run(data, k, model_n=model_n)
+    values, indices = reference_topk(data, k)
+    np.testing.assert_array_equal(result.values, values)
+    np.testing.assert_array_equal(result.indices, indices)
+    return result
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int32, np.int64, np.uint64]
+    )
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_dtype_matrix(self, rng, device, dtype, shards):
+        if np.dtype(dtype).kind == "f":
+            data = rng.random(4096).astype(dtype)
+        else:
+            data = rng.integers(0, 1 << 30, size=4096).astype(dtype)
+        assert_exact(data, 64, shards, device)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_duplicate_heavy_input(self, rng, device, shards):
+        # Only 5 distinct values over 4096 rows: ties everywhere, so the
+        # answer is decided almost entirely by index tie-breaking.
+        data = rng.integers(0, 5, size=4096).astype(np.int32)
+        assert_exact(data, 128, shards, device)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_nan_and_inf_payload(self, rng, device, shards):
+        data = rng.random(4096).astype(np.float32)
+        data[::7] = np.nan
+        data[::11] = np.inf
+        data[::13] = -np.inf
+        assert_exact(data, 96, shards, device)
+
+    @pytest.mark.parametrize("k", [4095, 4096])
+    def test_k_near_n(self, rng, device, k):
+        data = rng.random(4096).astype(np.float32)
+        assert_exact(data, k, 4, device)
+
+    def test_k_larger_than_per_shard_rows(self, rng, device):
+        # k = 90 against 100/8 = 12-or-13-row shards: every shard must
+        # surrender its entire slice as candidates.
+        data = rng.random(100).astype(np.float32)
+        assert_exact(data, 90, 8, device)
+
+    def test_more_shards_than_rows_degrades_gracefully(self, rng, device):
+        data = rng.random(5).astype(np.float32)
+        result = assert_exact(data, 3, 8, device)
+        assert result.trace.notes["sharding.shards"] == 5.0
+
+    def test_matches_the_unsharded_executor(self, rng, device):
+        data = rng.random(8192).astype(np.float32)
+        single = ShardedTopK(device, shards=1).run(data, 32)
+        sharded = ShardedTopK(device, shards=4).run(data, 32)
+        np.testing.assert_array_equal(single.values, sharded.values)
+        np.testing.assert_array_equal(single.indices, sharded.indices)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -2, True, 2.5])
+    def test_bad_shard_counts_raise(self, device, bad):
+        with pytest.raises(InvalidParameterError):
+            ShardedTopK(device, shards=bad)
+
+
+class TestTraceAccounting:
+    def test_fault_free_kernel_sequence(self, rng, device):
+        result = ShardedTopK(device, shards=4).run(
+            rng.random(4096).astype(np.float32), 32
+        )
+        names = [kernel.name for kernel in result.trace.kernels]
+        assert names == [CONCURRENT_KERNEL, GATHER_KERNEL, MERGE_KERNEL]
+        assert REDISTRIBUTE_KERNEL not in names
+        assert result.trace.notes["sharding.shards"] == 4.0
+        assert result.trace.notes["sharding.shards_lost"] == 0.0
+        assert result.trace.notes["sharding.redistributed"] == 0.0
+        assert result.trace.notes["sharding.max_shard_ms"] > 0.0
+
+    def test_simulated_time_improves_with_shards(self, rng, device):
+        # The headline property: at modeled scale the concurrent phase is
+        # bounded by the slowest shard, so more shards -> less time.
+        data = rng.random(1 << 16).astype(np.float32)
+        times = [
+            trace_time(
+                ShardedTopK(device, shards=shards)
+                .run(data, 256, model_n=1 << 26)
+                .trace,
+                device,
+            ).total
+            for shards in (1, 2, 4)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_gather_bytes_scale_with_candidates(self, rng, device):
+        data = rng.random(4096).astype(np.float32)
+        result = ShardedTopK(device, shards=4).run(data, 64)
+        gather = result.trace.kernels[1]
+        # 4 shards x 64 candidates x (4 value bytes + 4 row-id bytes).
+        assert gather.fixed_seconds == pytest.approx(
+            4 * 64 * 8 / device.pcie_bandwidth
+        )
+
+
+class TestObservability:
+    def test_per_shard_spans_and_metrics(self, rng, device):
+        observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+        with observation.activate():
+            ShardedTopK(device, shards=4).run(
+                rng.random(4096).astype(np.float32), 32
+            )
+        shard_spans = observation.tracer.spans("shard")
+        assert [span.name for span in shard_spans] == [
+            "shard:0", "shard:1", "shard:2", "shard:3"
+        ]
+        assert sum(span.attributes["rows"] for span in shard_spans) == 4096
+        assert observation.metrics.value("sharding.shards") == 4.0
+        assert observation.metrics.value("sharding.shards_executed") == 4.0
+
+    def test_shard_spans_nest_under_the_algorithm_span(self, rng, device):
+        observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+        with observation.activate():
+            ShardedTopK(device, shards=2).run(
+                rng.random(1024).astype(np.float32), 16
+            )
+        algorithm = [
+            span
+            for span in observation.tracer.spans("algorithm")
+            if span.name == "algorithm:sharded"
+        ]
+        assert len(algorithm) == 1
+
+
+class TestInnerResolution:
+    def test_pinned_inner_that_cannot_support_is_replanned(self, rng, device):
+        # bitonic caps k at 2048; a pinned-bitonic instance with a larger
+        # local k must silently route to a feasible kernel instead.
+        data = rng.random(8192).astype(np.float32)
+        assert_exact(data, 5000, 2, device)
+
+    def test_partition_ranges_match_the_trace_shards(self, rng, device):
+        data = rng.random(1000).astype(np.float32)
+        result = ShardedTopK(device, shards=3).run(data, 10)
+        assert result.trace.notes["sharding.shards"] == float(
+            len(partition_ranges(1000, 3))
+        )

@@ -1,0 +1,135 @@
+"""Planner integration: the shard budget gates sharded plans, the
+default budget preserves every existing decision bit for bit, and the
+cost model's shard choice is feasible and beneficial."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import create, create_for_node
+from repro.core.planner import TopKPlanner
+from repro.costmodel import SHARD_MIN_ROWS, choose_shards
+from repro.costmodel.base import UNIFORM_FLOAT
+from repro.errors import InvalidParameterError
+from repro.plan.nodes import Merge
+from repro.plan.plan import request_fingerprint
+from repro.sharding.executor import ShardedTopK
+
+LARGE_N = 1 << 26
+
+
+class TestDefaultParity:
+    @pytest.mark.parametrize(
+        "n,k", [(1 << 16, 32), (1 << 22, 256), (LARGE_N, 64)]
+    )
+    def test_default_budget_matches_the_unsharded_planner(self, device, n, k):
+        planner = TopKPlanner(device)
+        baseline = planner.choose(n, k, np.dtype(np.float32))
+        explicit = planner.choose(n, k, np.dtype(np.float32), max_shards=1)
+        assert explicit.algorithm == baseline.algorithm
+        assert explicit.candidates == baseline.candidates
+        assert explicit.shards == baseline.shards == 1
+        assert explicit.fallback_chain() == baseline.fallback_chain()
+        assert explicit.root.chain() == baseline.root.chain()
+
+
+class TestShardedChoice:
+    def test_large_inputs_plan_a_merge(self, device):
+        plan = TopKPlanner(device).choose(
+            LARGE_N, 256, np.dtype(np.float32), max_shards=8
+        )
+        assert plan.algorithm == "sharded"
+        assert plan.shards > 1
+        winner = plan.winner()
+        assert isinstance(winner, Merge)
+        assert len(winner.inputs) == plan.shards
+        chain = plan.root.chain()
+        assert chain[0] == "sharded"
+        # The chain keeps single-device alternatives for fault fallback.
+        assert len(chain) > 1
+
+    def test_sharding_beats_the_single_device_prediction(self, device):
+        planner = TopKPlanner(device)
+        single = planner.choose(LARGE_N, 256, np.dtype(np.float32))
+        sharded = planner.choose(
+            LARGE_N, 256, np.dtype(np.float32), max_shards=8
+        )
+        assert sharded.predicted_seconds < single.predicted_seconds
+
+    def test_small_inputs_stay_single_device(self, device):
+        plan = TopKPlanner(device).choose(
+            1 << 20, 64, np.dtype(np.float32), max_shards=8
+        )
+        assert plan.algorithm != "sharded"
+        assert plan.shards == 1
+
+    def test_approximate_queries_are_never_sharded(self, device):
+        plan = TopKPlanner(device).choose(
+            LARGE_N, 256, np.dtype(np.float32),
+            recall_target=0.9, max_shards=8,
+        )
+        assert plan.algorithm != "sharded"
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "4"])
+    def test_invalid_budgets_raise(self, device, bad):
+        with pytest.raises(InvalidParameterError):
+            TopKPlanner(device).choose(
+                1 << 20, 64, np.dtype(np.float32), max_shards=bad
+            )
+
+
+class TestCostModel:
+    def test_choice_is_a_power_of_two_within_the_budget(self, device):
+        choice = choose_shards(
+            LARGE_N, 256, np.dtype(np.float32), UNIFORM_FLOAT, device, 8
+        )
+        assert choice is not None
+        assert choice.shards in (2, 4, 8)
+        assert choice.seconds > 0.0
+        assert choice.inner
+
+    def test_budget_of_one_never_shards(self, device):
+        choice = choose_shards(
+            LARGE_N, 256, np.dtype(np.float32), UNIFORM_FLOAT, device, 1
+        )
+        assert choice is None or choice.shards == 1
+
+    def test_planner_respects_the_row_floor(self, device):
+        # Below the per-device threshold sharding would still predict
+        # faster, but the planner's floor keeps the plan single-device.
+        plan = TopKPlanner(device).choose(
+            SHARD_MIN_ROWS - 1, 64, np.dtype(np.float32), max_shards=8
+        )
+        assert plan.algorithm != "sharded"
+        assert plan.shards == 1
+
+
+class TestRegistryDispatch:
+    def test_merge_nodes_bind_to_the_scatter_gather_executor(self, device):
+        plan = TopKPlanner(device).choose(
+            LARGE_N, 256, np.dtype(np.float32), max_shards=4
+        )
+        algorithm = create_for_node(plan.winner(), device)
+        assert isinstance(algorithm, ShardedTopK)
+        assert algorithm.shards == plan.shards
+        assert algorithm.inner == plan.winner().inputs[0].algorithm
+
+    def test_sharded_is_a_registered_algorithm(self, device):
+        assert isinstance(create("sharded", device), ShardedTopK)
+
+
+class TestFingerprints:
+    def test_budget_is_part_of_the_request_fingerprint(self, device):
+        base = request_fingerprint(
+            LARGE_N, 256, "float32", "uniform-float", device.name, 1.0
+        )
+        sharded = request_fingerprint(
+            LARGE_N, 256, "float32", "uniform-float", device.name, 1.0,
+            max_shards=8,
+        )
+        assert base != sharded
+
+    def test_plan_to_dict_records_the_shard_count(self, device):
+        plan = TopKPlanner(device).choose(
+            LARGE_N, 256, np.dtype(np.float32), max_shards=4
+        )
+        assert plan.to_dict()["shards"] == plan.shards

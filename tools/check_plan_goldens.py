@@ -5,8 +5,9 @@ session prefix) for a set of representative queries and diffs the plan
 trees against the goldens committed under ``tests/plan/goldens/explain/``.
 Both surfaces must agree with each other *and* with the goldens; the
 ``--json`` emission is additionally validated for shape (every strategy
-carries a Fallback-rooted plan tree, and the approximate query's tree
-contains an ApproxTopK node).
+carries a Fallback-rooted plan tree, the approximate query's tree
+contains an ApproxTopK node, and the sharded queries' trees contain a
+Merge node over per-shard subtrees).
 
 Run from the repository root::
 
@@ -34,31 +35,46 @@ ROWS = 4096
 SEED = 3
 MODEL_ROWS = 250_000_000
 
-#: (golden name, query) — one per EXPLAIN-relevant query shape.
+#: (golden name, query, shard budget) — one per EXPLAIN-relevant query
+#: shape; a budget above 1 plans a Merge over per-shard subtrees.
 CASES = [
     (
         "order-by",
         "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50",
+        1,
     ),
     (
         "filtered",
         "SELECT id, likes_count FROM tweets WHERE tweet_time < 0.5 "
         "ORDER BY likes_count DESC LIMIT 25",
+        1,
     ),
     (
         "group-by",
         "SELECT uid, COUNT() AS num_tweets FROM tweets "
         "GROUP BY uid ORDER BY num_tweets DESC LIMIT 10",
+        1,
     ),
     (
         "approx",
         "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 64 "
         "APPROX_TOPK(0.9)",
+        1,
+    ),
+    (
+        "shard-2",
+        "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50",
+        2,
+    ),
+    (
+        "shard-4",
+        "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 25",
+        4,
     ),
 ]
 
 
-def cli_explain(sql: str, as_json: bool = False) -> str:
+def cli_explain(sql: str, as_json: bool = False, shards: int = 1) -> str:
     """``repro explain`` output, captured."""
     from repro.cli import main
 
@@ -68,6 +84,8 @@ def cli_explain(sql: str, as_json: bool = False) -> str:
         "--seed", str(SEED),
         "--model-rows", str(MODEL_ROWS),
     ]
+    if shards > 1:
+        argv.extend(["--shards", str(shards)])
     if as_json:
         argv.append("--json")
     buffer = io.StringIO()
@@ -78,17 +96,19 @@ def cli_explain(sql: str, as_json: bool = False) -> str:
     return buffer.getvalue()
 
 
-def sql_explain(sql: str) -> str:
+def sql_explain(sql: str, shards: int = 1) -> str:
     """``Session.sql("EXPLAIN ...")`` rendering."""
     from repro.engine import Session, generate_tweets
 
-    session = Session()
+    session = Session(shards=shards)
     session.register(generate_tweets(ROWS, seed=SEED))
     return session.sql(f"EXPLAIN {sql}", model_rows=MODEL_ROWS).render()
 
 
-def check_json_shape(name: str, sql: str, problems: list[str]) -> None:
-    doc = json.loads(cli_explain(sql, as_json=True))
+def check_json_shape(
+    name: str, sql: str, shards: int, problems: list[str]
+) -> None:
+    doc = json.loads(cli_explain(sql, as_json=True, shards=shards))
     if doc.get("format") != "repro-plan":
         problems.append(f"{name}: --json format tag is {doc.get('format')!r}")
         return
@@ -114,6 +134,10 @@ def check_json_shape(name: str, sql: str, problems: list[str]) -> None:
         problems.append(f"{name}: plan trees missing TopK/Scan nodes ({kinds})")
     if name == "approx" and "ApproxTopK" not in kinds:
         problems.append(f"{name}: approximate query rendered no ApproxTopK node")
+    if shards > 1 and "Merge" not in kinds:
+        problems.append(
+            f"{name}: sharded query (budget {shards}) rendered no Merge node"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,9 +149,9 @@ def main(argv: list[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
 
     problems: list[str] = []
-    for name, sql in CASES:
-        rendered = cli_explain(sql)
-        via_sql = sql_explain(sql)
+    for name, sql, shards in CASES:
+        rendered = cli_explain(sql, shards=shards)
+        via_sql = sql_explain(sql, shards=shards)
         if via_sql.rstrip("\n") != rendered.rstrip("\n"):
             problems.append(
                 f"{name}: SQL EXPLAIN and `repro explain` disagree:\n"
@@ -162,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
             problems.append(f"{name}: plan tree changed:\n{diff}")
-        check_json_shape(name, sql, problems)
+        check_json_shape(name, sql, shards, problems)
 
     if arguments.update:
         return 0
