@@ -24,6 +24,7 @@ from repro.approx.config import (
     ApproxConfig,
     default_config,
 )
+from repro.approx.degrade import DegradeChoice, clear_cache, degraded_config
 from repro.approx.delegate import (
     exact_delegate_filter,
     group_delegates,
@@ -44,7 +45,10 @@ __all__ = [
     "run_approx_benchmark",
     "DEFAULT_DELEGATE_GROUP",
     "DEFAULT_OVERSAMPLE",
+    "DegradeChoice",
+    "clear_cache",
     "default_config",
+    "degraded_config",
     "delegate_expected_recall",
     "exact_delegate_filter",
     "expected_recall",

@@ -1,0 +1,103 @@
+"""Recall→configuration inverse lookup for SLO-driven degradation.
+
+The SLO scheduler degrades a query by lowering its ``recall_target`` —
+rung 1 of the serving layer's degradation ladder — and needs to know, at
+scheduling time, (a) whether a genuinely approximate configuration exists
+for the query's shape at the degraded target, and (b) what recall floor
+that configuration *advertises* (the exact hypergeometric
+:func:`~repro.approx.recall.expected_recall` of the chosen config, which
+the bench later verifies against :func:`~repro.approx.recall.measured_recall`).
+
+:func:`degraded_config` answers both by delegating to the cost model's
+recall-constrained search (:func:`repro.costmodel.approx_model.choose_config`)
+and memoizing the result: scheduling decisions happen once per dispatch
+cycle, so the same (shape, target) pair must not re-pay the config sweep
+every cycle.  The cache key is everything the search reads — the same
+discipline as the serving plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.config import ApproxConfig
+from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
+from repro.errors import InvalidParameterError
+from repro.gpu.device import DeviceSpec, get_device
+
+
+@dataclass(frozen=True)
+class DegradeChoice:
+    """One feasible degradation: the config and what it promises."""
+
+    config: ApproxConfig
+    #: Analytic expected recall of ``config`` on the query's shape — the
+    #: floor the degraded answer advertises to its caller.
+    expected_recall: float
+    #: The cost model's predicted seconds for the approximate execution.
+    predicted_seconds: float
+
+
+_CACHE: dict[tuple, DegradeChoice | None] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def degraded_config(
+    n: int,
+    k: int,
+    recall_target: float,
+    dtype: np.dtype = np.dtype(np.float32),
+    device: DeviceSpec | None = None,
+    profile: WorkloadProfile = UNIFORM_FLOAT,
+) -> DegradeChoice | None:
+    """Cheapest genuinely-approximate configuration meeting the target.
+
+    Returns None when no non-degenerate configuration meets
+    ``recall_target`` on this shape — the scheduler then leaves the query
+    exact (degrading its ``recall_target`` would change nothing, since
+    the planner only picks the approximate operator when a feasible
+    config exists *and* beats every exact algorithm).
+
+    Memoized on ``(n, k, target, dtype, device, profile)``; safe to call
+    from every dispatch cycle.
+    """
+    if n < 1 or k < 1 or k > n:
+        raise InvalidParameterError(
+            f"invalid degradation shape: n = {n}, k = {k}"
+        )
+    if not 0.0 < recall_target <= 1.0:
+        raise InvalidParameterError(
+            f"recall_target must be in (0, 1], got {recall_target}"
+        )
+    device = device or get_device()
+    dtype = np.dtype(dtype)
+    key = (n, k, recall_target, str(dtype), device.name, profile.name)
+    with _CACHE_LOCK:
+        if key in _CACHE:
+            return _CACHE[key]
+    # The search is pure (cost models never read payloads), so concurrent
+    # misses computing it twice is wasteful but harmless.
+    from repro.costmodel.approx_model import choose_config
+
+    found = choose_config(n, k, recall_target, dtype, device, profile)
+    choice = (
+        DegradeChoice(
+            config=found[0],
+            expected_recall=found[2],
+            predicted_seconds=found[1],
+        )
+        if found is not None
+        else None
+    )
+    with _CACHE_LOCK:
+        _CACHE[key] = choice
+    return choice
+
+
+def clear_cache() -> None:
+    """Drop every memoized lookup (tests and device-profile changes)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()

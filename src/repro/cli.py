@@ -16,6 +16,7 @@ Examples::
     python -m repro serve-bench --queries 1000 --shapes 4 --n 512 --k 8
     python -m repro approx-bench --baseline benchmarks/baselines/BENCH_approx.json
     python -m repro shard-bench --baseline benchmarks/baselines/BENCH_sharding.json
+    python -m repro slo-bench --baseline benchmarks/baselines/BENCH_slo.json
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -253,6 +254,36 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--baseline", default=None,
         help="gate the run against a committed BENCH_sharding.json baseline",
+    )
+
+    slo = commands.add_parser(
+        "slo-bench",
+        help="sweep offered load past saturation and compare the SLO "
+             "scheduler (EDF + degradation ladder) against the FIFO baseline",
+    )
+    slo.add_argument("--queries", type=int, default=120)
+    slo.add_argument(
+        "--rate", type=float, action="append", dest="rates", default=None,
+        help="offered load in queries per simulated ms; repeatable "
+             "(default: 8 16 28 40 60)",
+    )
+    slo.add_argument(
+        "--process", default="poisson", choices=["poisson", "bursty"],
+        help="open-loop arrival process",
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    slo.add_argument("--out", default=None,
+                     help="also write the JSON report to this path")
+    slo.add_argument(
+        "--baseline", default=None,
+        help="gate the run against a committed BENCH_slo.json baseline",
     )
     return parser
 
@@ -550,6 +581,46 @@ def _command_shard_bench(arguments) -> int:
     return status
 
 
+def _command_slo_bench(arguments) -> int:
+    import json
+
+    from repro.slo import DEFAULT_RATES, check_baseline, run_slo_benchmark
+
+    report = run_slo_benchmark(
+        queries=arguments.queries,
+        rates=tuple(arguments.rates) if arguments.rates else DEFAULT_RATES,
+        process=arguments.process,
+        seed=arguments.seed,
+        device=get_device(arguments.device),
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    status = 0
+    if not report.passed:
+        print(
+            "error: an SLO property gate failed (dominance, recall honesty, "
+            "or below-saturation exactness)",
+            file=sys.stderr,
+        )
+        status = 1
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"baseline regression: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -572,6 +643,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_approx_bench(arguments)
         if arguments.command == "shard-bench":
             return _command_shard_bench(arguments)
+        if arguments.command == "slo-bench":
+            return _command_slo_bench(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

@@ -148,7 +148,7 @@ class Session:
             )
             return explain_query(executor, text, model_rows)
 
-    def serve(self, **kwargs):
+    def serve(self, slo=False, **kwargs):
         """Open a concurrent serving front door over this session.
 
         Returns a started :class:`~repro.serving.TopKServer` bound to the
@@ -159,10 +159,25 @@ class Session:
                 future = server.submit(table="tweets", column="likes_count", k=10)
                 answer = future.result()
 
-        Keyword arguments are forwarded to
-        :class:`~repro.serving.TopKServer`.
+        Pass ``slo=True`` (or an :class:`~repro.slo.SloPolicy`) to get an
+        :class:`~repro.slo.SloTopKServer` instead — deadlines, QoS
+        classes, and the degradation ladder on the same front door::
+
+            with session.serve(slo=True) as server:
+                future = server.submit(
+                    table="tweets", column="likes_count", k=10,
+                    qos="best-effort",
+                )
+
+        Remaining keyword arguments are forwarded to the server class.
         """
         from repro.serving import TopKServer
 
         kwargs.setdefault("flags", self.flags)
+        if slo:
+            from repro.slo import SloPolicy, SloTopKServer
+
+            if isinstance(slo, SloPolicy):
+                kwargs.setdefault("policy", slo)
+            return SloTopKServer(session=self, **kwargs)
         return TopKServer(session=self, **kwargs)

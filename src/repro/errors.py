@@ -25,6 +25,25 @@ class ResourceExhaustedError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A query's latency SLO cannot be (or was not) met.
+
+    Raised by the SLO-aware serving layer when a query is already past its
+    deadline at dispatch time — answering it would burn capacity on a
+    result the caller has stopped waiting for, so the scheduler sheds it
+    with this typed error instead.
+    """
+
+
+class ShutdownError(ReproError, RuntimeError):
+    """The serving layer shut down before the query could run.
+
+    Delivered through the futures of queries still pending when a server
+    is closed, so callers blocked on ``future.result()`` fail fast with a
+    typed error instead of hanging forever.
+    """
+
+
 class UnsupportedQueryError(ReproError, ValueError):
     """The SQL subset parser or engine planner cannot handle a query."""
 
@@ -87,6 +106,8 @@ EXIT_CODES: dict[type, int] = {
     KernelTimeoutError: 10,
     TransferError: 11,
     FaultError: 12,
+    DeadlineExceededError: 14,
+    ShutdownError: 15,
 }
 
 #: Fallback exit code for a ReproError subclass not listed above.

@@ -33,7 +33,13 @@ from repro.observability.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
 from repro.observability.tracer import NULL_SPAN, NullSpan, Span, Tracer
 
 __all__ = [
@@ -41,6 +47,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Summary",
     "NullSpan",
     "NULL_SPAN",
     "Span",

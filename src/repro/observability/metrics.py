@@ -111,7 +111,69 @@ class Histogram:
         }
 
 
-Instrument = Counter | Gauge | Histogram
+class Summary:
+    """A distribution summary with *exact* quantiles.
+
+    Unlike :class:`Histogram` (which buckets by power of two and cannot
+    answer "what is p99"), a Summary keeps every observation, so its
+    quantiles are exact and deterministic — the property the SLO serving
+    layer's per-class latency digests are gated on in CI.  The cost is
+    O(observations) memory, which is fine for bench-sized runs; use a
+    Histogram for unbounded hot paths.
+    """
+
+    kind = "summary"
+
+    #: The percentiles every snapshot reports.
+    QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Exact nearest-rank quantile; None with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return None
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(0, math.ceil(q * len(self._values)) - 1)
+        return self._values[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            **{
+                f"p{int(q * 100)}": self.quantile(q)
+                for q in self.QUANTILES
+            },
+        }
+
+
+Instrument = Counter | Gauge | Histogram | Summary
 
 
 class MetricsRegistry:
@@ -136,6 +198,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)
+
+    def summary(self, name: str, **labels) -> Summary:
+        return self._get(Summary, name, labels)
 
     # -- views -----------------------------------------------------------
 
@@ -181,6 +246,14 @@ class MetricsRegistry:
                 detail = (
                     f"count={record['count']} sum={record['sum']:.4f} "
                     f"mean={record['mean']:.4f}"
+                )
+            elif record["kind"] == "summary":
+                p50 = record["p50"]
+                p99 = record["p99"]
+                detail = (
+                    f"count={record['count']} "
+                    f"p50={p50 if p50 is None else format(p50, '.4f')} "
+                    f"p99={p99 if p99 is None else format(p99, '.4f')}"
                 )
             else:
                 detail = f"{record['value']:.4f}"

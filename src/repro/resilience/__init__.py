@@ -10,10 +10,17 @@ The subsystem has four parts:
   silent corruption before an answer escapes;
 * :mod:`repro.resilience.executor` — the :class:`ResilientExecutor` that
   combines them with planner-driven fallback chains;
+* :mod:`repro.resilience.breaker` — the :class:`CircuitBreaker` the SLO
+  serving layer trips on repeatedly-faulting devices;
 * :mod:`repro.resilience.chaos` — the seeded chaos campaign behind
   ``repro chaos``.
 """
 
+from repro.resilience.breaker import (
+    DEFAULT_BREAKER,
+    BreakerPolicy,
+    CircuitBreaker,
+)
 from repro.resilience.chaos import ChaosReport, ChaosTrial, run_campaign
 from repro.resilience.executor import (
     CPU_FALLBACK,
@@ -33,9 +40,12 @@ from repro.resilience.verify import verification_issues, verify_result
 
 __all__ = [
     "AttemptLog",
+    "BreakerPolicy",
     "ChaosReport",
     "ChaosTrial",
+    "CircuitBreaker",
     "CPU_FALLBACK",
+    "DEFAULT_BREAKER",
     "DEFAULT_FALLBACK_CHAIN",
     "DEFAULT_RETRY",
     "NO_RETRY",

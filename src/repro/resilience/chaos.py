@@ -41,7 +41,8 @@ ALGORITHM_TARGETS = (
     "per-thread",
 )
 MULTI_GPU_TARGET = "multi-gpu"
-TARGETS = ALGORITHM_TARGETS + (MULTI_GPU_TARGET,)
+SERVING_TARGET = "serving"
+TARGETS = ALGORITHM_TARGETS + (MULTI_GPU_TARGET, SERVING_TARGET)
 
 #: (site, fault, silent) triples a single-device trial may draw.
 ALGORITHM_FAULTS = (
@@ -58,6 +59,18 @@ MULTI_GPU_FAULTS = (
     ("device-launch", "device-lost", False),
     ("pcie-transfer", "transfer-error", False),
     ("kernel-launch", "device-lost", False),
+)
+
+#: Faults the serving trial may draw while queries flow through the
+#: batcher + dispatcher.  Only *signalled* kernel-launch faults: the
+#: serving path does not re-verify device buffers (silent-corruption
+#: coverage stays with the algorithm targets), and the result-transfer
+#: site lives inside the resilient fallback the serving path only
+#: reaches after a launch fault.
+SERVING_FAULTS = (
+    ("kernel-launch", "device-lost", False),
+    ("kernel-launch", "kernel-timeout", False),
+    ("kernel-launch", "resource-exhausted", False),
 )
 
 OUTCOMES = ("exact", "typed-error", "wrong-answer", "unhandled")
@@ -173,9 +186,12 @@ def _run_trial(
     target = master.choice(TARGETS)
     n = master.choice((512, 1024, 2048, 4096))
     k = min(n, master.choice((1, 8, 32, 64)))
-    faults_menu = (
-        MULTI_GPU_FAULTS if target == MULTI_GPU_TARGET else ALGORITHM_FAULTS
-    )
+    if target == MULTI_GPU_TARGET:
+        faults_menu = MULTI_GPU_FAULTS
+    elif target == SERVING_TARGET:
+        faults_menu = SERVING_FAULTS
+    else:
+        faults_menu = ALGORITHM_FAULTS
     site, fault, silent = master.choice(faults_menu)
     plan = FaultPlan(
         site=site,
@@ -185,6 +201,8 @@ def _run_trial(
         max_injections=master.choice((1, 2, 3)),
         silent=silent,
     )
+    if target == SERVING_TARGET:
+        return _run_serving_trial(index, n, k, plan, seed)
     data = _make_data(
         np.random.default_rng(seed), n, with_inf=master.random() < 0.25
     )
@@ -222,6 +240,72 @@ def _run_trial(
         silent=silent,
         injections=len(injector.injections),
         outcome=outcome,
+        error=error,
+    )
+
+
+def _run_serving_trial(
+    index: int, n: int, k: int, plan: FaultPlan, seed: int
+) -> ChaosTrial:
+    """One trial against the serving path: faults fire while queries flow
+    through the batcher + dispatcher thread.
+
+    Six queries with two same-shape pairs, so the trial exercises both
+    fused batch execution and singleton launches under injection.  Each
+    request captures the active injector at submit time and the batcher
+    re-installs it around execution, so injection reaches the dispatcher
+    thread deterministically.
+    """
+    from repro.serving import TopKServer
+
+    rng = np.random.default_rng(seed)
+    half = max(k, n // 2)
+    shapes = [(n, k), (n, k), (half, k), (half, k), (n, max(1, k // 2)), (n, k)]
+    payloads = [
+        rng.standard_normal(length).astype(np.float32) for length, _ in shapes
+    ]
+    expected = [
+        reference_topk(payload, kk)[0]
+        for payload, (_, kk) in zip(payloads, shapes)
+    ]
+    injector = FaultInjector(seed=seed, plans=[plan])
+    worst = "exact"
+    error = ""
+    server = TopKServer(auto_start=False)
+    try:
+        with inject(injector):
+            futures = [
+                server.submit(payload, kk)
+                for payload, (_, kk) in zip(payloads, shapes)
+            ]
+        server.start()
+        server.flush()
+        for future, expected_values in zip(futures, expected):
+            try:
+                outcome = future.result(timeout=60)
+            except ReproError as exc:
+                if worst == "exact":
+                    worst = "typed-error"
+                    error = type(exc).__name__
+            except Exception as exc:  # noqa: BLE001 — the class under test
+                worst = "unhandled"
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                if not np.array_equal(outcome.values, expected_values):
+                    worst = "wrong-answer"
+                    error = "served result differs from the sort oracle"
+    finally:
+        server.close()
+    return ChaosTrial(
+        index=index,
+        target=SERVING_TARGET,
+        n=n,
+        k=k,
+        site=plan.site,
+        fault=plan.fault,
+        silent=plan.silent,
+        injections=len(injector.injections),
+        outcome=worst,
         error=error,
     )
 

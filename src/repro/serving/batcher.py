@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import observability as obs
 from repro.bitonic.optimizations import FULL
 from repro.core.batched import batched_topk
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
@@ -72,6 +73,23 @@ class ServingRequest:
     bound: BoundPlan | None = None
     #: Minimum acceptable recall for this query (1.0 = exact only).
     recall_target: float = 1.0
+    #: Wall-clock (``time.perf_counter()``) and simulated timestamps taken
+    #: at submit; the scheduler turns them into queue-wait attribution at
+    #: dispatch.  None for requests executed without queuing.
+    submitted_wall: float | None = None
+    submitted_sim_ms: float | None = None
+    #: Submit→dispatch latency, filled by the scheduler at dispatch time.
+    queue_wait_wall_ms: float = 0.0
+    queue_wait_sim_ms: float = 0.0
+    #: SLO annotations (None/defaults outside the SLO serving layer): the
+    #: absolute simulated-time deadline, the tenant QoS class name, and —
+    #: when the scheduler lowered ``recall_target`` under pressure — the
+    #: degradation flag plus the advertised recall floor of the degraded
+    #: configuration.
+    deadline_ms: float | None = None
+    qos: str | None = None
+    degraded: bool = False
+    expected_recall: float = 1.0
 
     @property
     def key(self) -> Batch:
@@ -108,6 +126,14 @@ class QueryOutcome:
     #: *fused* total for a batched query — shared across the whole batch).
     simulated_ms: float = 0.0
     fell_back: bool = False
+    #: Submit→dispatch latency carried over from the request.
+    queue_wait_wall_ms: float = 0.0
+    queue_wait_sim_ms: float = 0.0
+    #: Whether the SLO scheduler served this answer at a lowered recall
+    #: target, and the recall floor the chosen configuration advertises
+    #: (1.0 for exact answers).
+    degraded: bool = False
+    expected_recall: float = 1.0
 
     @property
     def simulated_share_ms(self) -> float:
@@ -203,10 +229,21 @@ class CrossQueryBatcher:
             None,
         )
         context = faults.inject(injector) if injector is not None else None
-        if context is not None:
-            with context:
-                return self._execute(group)
-        return self._execute(group)
+        with obs.span(
+            "serving-execute",
+            category="serving",
+            queries=len(group),
+            queue_wait_wall_ms=round(
+                max(request.queue_wait_wall_ms for request in group), 6
+            ),
+            queue_wait_sim_ms=round(
+                max(request.queue_wait_sim_ms for request in group), 6
+            ),
+        ):
+            if context is not None:
+                with context:
+                    return self._execute(group)
+            return self._execute(group)
 
     def _execute(self, group: Sequence[ServingRequest]) -> list[QueryOutcome]:
         if len(group) > 1:
@@ -248,6 +285,10 @@ class CrossQueryBatcher:
                     batched=True,
                     batch_size=len(group),
                     simulated_ms=simulated_ms,
+                    queue_wait_wall_ms=request.queue_wait_wall_ms,
+                    queue_wait_sim_ms=request.queue_wait_sim_ms,
+                    degraded=request.degraded,
+                    expected_recall=request.expected_recall,
                 )
             )
         return outcomes
@@ -274,6 +315,10 @@ class CrossQueryBatcher:
             algorithm=result.algorithm,
             plan=request.plan,
             simulated_ms=simulated_ms,
+            queue_wait_wall_ms=request.queue_wait_wall_ms,
+            queue_wait_sim_ms=request.queue_wait_sim_ms,
+            degraded=request.degraded,
+            expected_recall=request.expected_recall,
         )
 
     def _execute_resilient(self, request: ServingRequest) -> QueryOutcome:
@@ -299,6 +344,10 @@ class CrossQueryBatcher:
             plan=request.plan,
             simulated_ms=simulated_ms,
             fell_back=True,
+            queue_wait_wall_ms=request.queue_wait_wall_ms,
+            queue_wait_sim_ms=request.queue_wait_sim_ms,
+            degraded=request.degraded,
+            expected_recall=request.expected_recall,
         )
 
     # -- stats ------------------------------------------------------------

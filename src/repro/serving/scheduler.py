@@ -26,6 +26,7 @@ cache and batcher instruments.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 
@@ -35,7 +36,11 @@ from repro import observability as obs
 from repro.algorithms.base import validate_topk_args
 from repro.bitonic.optimizations import FULL, OptimizationFlags
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
-from repro.errors import InvalidParameterError, ResourceExhaustedError
+from repro.errors import (
+    InvalidParameterError,
+    ResourceExhaustedError,
+    ShutdownError,
+)
 from repro.gpu import faults
 from repro.gpu.device import DeviceSpec, get_device
 from repro.serving.batcher import (
@@ -147,7 +152,15 @@ class TopKServer:
         return self
 
     def close(self) -> None:
-        """Drain outstanding work and stop the dispatcher."""
+        """Drain outstanding work and stop the dispatcher.
+
+        A running dispatcher finishes the backlog before exiting.  If the
+        dispatcher never started (``auto_start=False`` without
+        :meth:`start`) — or died — queued futures would otherwise hang
+        forever; they are failed with a typed
+        :class:`~repro.errors.ShutdownError` instead, so every submitted
+        future resolves exactly once.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -156,6 +169,19 @@ class TopKServer:
         if self._dispatcher is not None:
             self._dispatcher.join()
             self._dispatcher = None
+        with self._lock:
+            abandoned = list(self._pending)
+            self._pending.clear()
+            self._idle.notify_all()
+        for request in abandoned:
+            self.metrics.counter("serving.failed").inc()
+            self.metrics.counter("serving.abandoned").inc()
+            if request.future is not None:
+                request.future.set_exception(
+                    ShutdownError(
+                        "server shut down before this query was dispatched"
+                    )
+                )
 
     def __enter__(self) -> "TopKServer":
         return self.start()
@@ -192,6 +218,8 @@ class TopKServer:
         request = self._make_request(data, k, table, column, recall_target)
         future: Future = Future()
         request.future = future
+        request.submitted_wall = time.perf_counter()
+        request.submitted_sim_ms = self._sim_now_ms()
         with self._lock:
             if self._closed:
                 raise InvalidParameterError(
@@ -270,6 +298,44 @@ class TopKServer:
 
     # -- dispatch ---------------------------------------------------------
 
+    def _sim_now_ms(self) -> float:
+        """The server's simulated clock: accumulated execution cost.
+
+        A thread server has no event loop to keep simulated time; the
+        monotone total of simulated milliseconds the batcher has executed
+        is the natural analogue, and what queue-wait attribution and the
+        SLO subclass's deadlines are measured against.
+        """
+        return float(self.batcher.simulated_ms_total)
+
+    def _note_queue_wait(self, drained) -> None:
+        """Record each drained request's submit→dispatch latency (both
+        clocks) on the request and in the metrics registry."""
+        now_wall = time.perf_counter()
+        now_sim = self._sim_now_ms()
+        for request in drained:
+            if request.submitted_wall is not None:
+                request.queue_wait_wall_ms = (
+                    now_wall - request.submitted_wall
+                ) * 1e3
+            if request.submitted_sim_ms is not None:
+                request.queue_wait_sim_ms = max(
+                    0.0, now_sim - request.submitted_sim_ms
+                )
+            self.metrics.histogram("serving.queue_wait_wall_ms").observe(
+                request.queue_wait_wall_ms
+            )
+            self.metrics.histogram("serving.queue_wait_sim_ms").observe(
+                request.queue_wait_sim_ms
+            )
+
+    def _prepare(self, drained: list) -> list:
+        """Scheduling hook: order (and possibly shed or degrade) one
+        drained backlog before planning.  The base server is FIFO — the
+        backlog passes through untouched; the SLO server overrides this
+        with deadline-aware admission."""
+        return drained
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
@@ -285,8 +351,9 @@ class TopKServer:
                 self._in_flight += len(drained)
                 self.metrics.gauge("serving.queue_depth").set(0)
             try:
+                self._note_queue_wait(drained)
                 planned = []
-                for request in drained:
+                for request in self._prepare(drained):
                     # A planning failure (no feasible algorithm for the
                     # shape) fails that query's future, never the thread.
                     try:

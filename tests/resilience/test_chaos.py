@@ -52,3 +52,20 @@ def test_render_mentions_verdict():
     report = run_campaign(seed=0, trials=5)
     text = report.render()
     assert "SURVIVED" in text or "FAILED" in text
+
+
+def test_serving_target_survives_forced_faults():
+    from repro.gpu.faults import FaultPlan
+    from repro.resilience.chaos import SERVING_FAULTS, _run_serving_trial
+
+    for site, fault, silent in SERVING_FAULTS:
+        plan = FaultPlan(
+            site=site,
+            fault=fault,
+            probability=1.0,
+            max_injections=2,
+            silent=silent,
+        )
+        trial = _run_serving_trial(0, 1024, 16, plan, seed=7)
+        assert trial.outcome in ("exact", "typed-error"), trial.to_dict()
+        assert trial.injections > 0

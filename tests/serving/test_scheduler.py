@@ -202,3 +202,51 @@ class TestStats:
         assert stats["completed"] == 5
         assert stats["plan_cache"]["misses"] >= 1
         assert "batcher" in stats and "max_pending" in stats
+
+
+class TestQueueWait:
+    def test_queue_wait_recorded_on_outcome_and_metrics(self, device, rng):
+        with TopKServer(device=device) as server:
+            outcome = server.query(rng.random(256).astype(np.float32), k=4)
+            wall = server.metrics.histogram("serving.queue_wait_wall_ms")
+            sim = server.metrics.histogram("serving.queue_wait_sim_ms")
+        assert outcome.queue_wait_wall_ms >= 0.0
+        assert outcome.queue_wait_sim_ms >= 0.0
+        assert wall.count == 1 and sim.count == 1
+
+    def test_queue_wait_attribution_survives_batching(self, device, rng):
+        data = rng.random(512).astype(np.float32)
+        server = TopKServer(device=device, auto_start=False)
+        try:
+            # Queue both before the dispatcher exists: they drain (and
+            # batch) together in the first dispatch cycle.
+            futures = [server.submit(data, k=4) for _ in range(2)]
+            server.start()
+            outcomes = [future.result(timeout=30) for future in futures]
+        finally:
+            server.close()
+        assert all(o.queue_wait_wall_ms >= 0.0 for o in outcomes)
+
+
+class TestShutdownResolution:
+    def test_close_fails_pending_futures_when_never_started(self, device, rng):
+        from repro.errors import ShutdownError
+
+        server = TopKServer(device=device, auto_start=False)
+        futures = [
+            server.submit(rng.random(64).astype(np.float32), k=2)
+            for _ in range(3)
+        ]
+        server.close()
+        for future in futures:
+            with pytest.raises(ShutdownError):
+                future.result(timeout=5)
+        assert server.metrics.value("serving.abandoned") == 3
+        assert server.metrics.value("serving.failed") == 3
+
+    def test_running_server_drains_instead_of_abandoning(self, device, rng):
+        server = TopKServer(device=device)
+        future = server.submit(rng.random(64).astype(np.float32), k=2)
+        server.close()
+        assert future.result(timeout=5).values.shape == (2,)
+        assert server.metrics.value("serving.abandoned") is None

@@ -1,0 +1,1 @@
+"""SLO serving layer tests."""

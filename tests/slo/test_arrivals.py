@@ -1,0 +1,118 @@
+"""Open-loop workload generation: arrival processes and trace shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.slo import OpenLoopWorkload, bursty_arrivals, poisson_arrivals
+
+
+class TestPoisson:
+    def test_deterministic_for_a_seed(self):
+        first = poisson_arrivals(10.0, 200, seed=7)
+        second = poisson_arrivals(10.0, 200, seed=7)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, poisson_arrivals(10.0, 200, seed=8))
+
+    def test_timestamps_are_increasing(self):
+        arrivals = poisson_arrivals(5.0, 500, seed=0)
+        assert len(arrivals) == 500
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_long_run_rate_matches_nominal(self):
+        arrivals = poisson_arrivals(10.0, 5000, seed=0)
+        realized = len(arrivals) / arrivals[-1]
+        assert realized == pytest.approx(10.0, rel=0.1)
+
+    @pytest.mark.parametrize("rate,count", [(0.0, 10), (-1.0, 10), (5.0, 0)])
+    def test_invalid_parameters_rejected(self, rate, count):
+        with pytest.raises(InvalidParameterError):
+            poisson_arrivals(rate, count)
+
+
+class TestBursty:
+    def test_deterministic_for_a_seed(self):
+        first = bursty_arrivals(10.0, 200, seed=7)
+        assert np.array_equal(first, bursty_arrivals(10.0, 200, seed=7))
+
+    def test_long_run_rate_matches_nominal(self):
+        # The MMPP's calm rate is solved so the long-run offered rate
+        # equals the nominal one despite the burst state's multiplier.
+        arrivals = bursty_arrivals(10.0, 8000, seed=0)
+        realized = len(arrivals) / arrivals[-1]
+        assert realized == pytest.approx(10.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        # Squared coefficient of variation of the gaps must exceed the
+        # Poisson process's (~1): the whole point of the second process.
+        poisson_gaps = np.diff(poisson_arrivals(10.0, 4000, seed=3))
+        bursty_gaps = np.diff(bursty_arrivals(10.0, 4000, seed=3))
+        def scv(gaps):
+            return np.var(gaps) / np.mean(gaps) ** 2
+        assert scv(bursty_gaps) > scv(poisson_gaps)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_factor": 1.0},
+            {"burst_fraction": 0.0},
+            {"burst_fraction": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            bursty_arrivals(10.0, 100, **kwargs)
+
+
+class TestWorkload:
+    def test_generate_is_deterministic(self):
+        first = OpenLoopWorkload(queries=40, seed=3)
+        second = OpenLoopWorkload(queries=40, seed=3)
+        column_a, trace_a = first.generate()
+        column_b, trace_b = second.generate()
+        assert np.array_equal(column_a, column_b)
+        assert trace_a == trace_b
+
+    def test_every_query_gets_a_distinct_window_length(self):
+        _, trace = OpenLoopWorkload(queries=60, seed=0).generate()
+        lengths = [query.n for query in trace]
+        assert len(set(lengths)) == len(lengths)
+        assert all(
+            40_960 <= query.n < 65_536 and query.offset >= 0 for query in trace
+        )
+
+    def test_shapes_are_rate_independent(self):
+        # A load sweep must rank identical windows at every rate: only the
+        # arrival timestamps may differ.
+        _, slow = OpenLoopWorkload(queries=30, rate_per_ms=2.0, seed=5).generate()
+        _, fast = OpenLoopWorkload(queries=30, rate_per_ms=50.0, seed=5).generate()
+        for a, b in zip(slow, fast):
+            assert (a.offset, a.n, a.k, a.qos) == (b.offset, b.n, b.k, b.qos)
+            assert a.arrival_ms != b.arrival_ms
+
+    def test_class_mix_covers_every_class(self):
+        _, trace = OpenLoopWorkload(queries=120, seed=0).generate()
+        assert {query.qos for query in trace} == {
+            "gold",
+            "standard",
+            "best-effort",
+        }
+
+    def test_bursty_process_is_selectable(self):
+        workload = OpenLoopWorkload(queries=20, process="bursty", seed=0)
+        assert len(workload.arrivals()) == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queries": 0},
+            {"process": "uniform"},
+            {"n_min": 0},
+            {"n_min": 1 << 18, "n_max": 1 << 18},
+            {"queries": 100, "n_min": 1000, "n_max": 1050},
+            {"k": 0},
+        ],
+    )
+    def test_invalid_workloads_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            OpenLoopWorkload(**kwargs)

@@ -1,0 +1,149 @@
+"""The SLO decision core: EDF order, the ladder, admission, the control arm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, ResourceExhaustedError
+from repro.serving.batcher import ServingRequest
+from repro.slo import (
+    DEGRADE,
+    REJECT,
+    RUN,
+    SHED_BREAKER,
+    SHED_DEADLINE,
+    FifoScheduler,
+    SloScheduler,
+)
+
+
+def request(n=50_000, k=64, qos="standard", deadline_ms=None, seed=0):
+    data = np.random.default_rng(seed).integers(
+        0, 1 << 20, size=n, dtype=np.int32
+    )
+    return ServingRequest(data=data, k=k, qos=qos, deadline_ms=deadline_ms)
+
+
+@pytest.fixture
+def scheduler(device):
+    return SloScheduler(device=device)
+
+
+class TestEdfOrder:
+    def test_earliest_deadline_runs_first(self, scheduler):
+        late = request(qos="best-effort", deadline_ms=9.0)
+        soon = request(qos="gold", deadline_ms=2.0)
+        middle = request(qos="standard", deadline_ms=5.0)
+        to_run, shed = scheduler.prepare([late, soon, middle], now_ms=0.0)
+        assert [r.deadline_ms for r in to_run] == [2.0, 5.0, 9.0]
+        assert shed == []
+
+    def test_priority_breaks_deadline_ties(self, scheduler):
+        best = request(qos="best-effort", deadline_ms=4.0)
+        gold = request(qos="gold", deadline_ms=4.0)
+        to_run, _ = scheduler.prepare([best, gold], now_ms=0.0)
+        assert to_run[0] is gold
+
+
+class TestShedding:
+    def test_overdue_sheddable_queries_are_shed(self, scheduler):
+        overdue = request(qos="best-effort", deadline_ms=1.0)
+        fresh = request(qos="best-effort", deadline_ms=9.0)
+        to_run, shed = scheduler.prepare([overdue, fresh], now_ms=2.0)
+        assert to_run == [fresh]
+        [(victim, decision, error)] = shed
+        assert victim is overdue
+        assert decision.action == SHED_DEADLINE
+        assert isinstance(error, DeadlineExceededError)
+
+    def test_overdue_non_sheddable_queries_still_run(self, scheduler):
+        # Gold never consented to shedding: a late gold answer beats none.
+        overdue = request(qos="gold", deadline_ms=1.0)
+        to_run, shed = scheduler.prepare([overdue], now_ms=5.0)
+        assert to_run == [overdue] and shed == []
+
+    def test_breaker_shed_splits_by_consent(self, scheduler):
+        sheddable = request(qos="best-effort", deadline_ms=5.0)
+        protected = request(qos="gold", deadline_ms=5.0)
+        keep, shed = scheduler.breaker_shed([sheddable, protected])
+        assert keep == [protected]
+        [(victim, decision, error)] = shed
+        assert victim is sheddable
+        assert decision.action == SHED_BREAKER
+        assert isinstance(error, ResourceExhaustedError)
+
+
+class TestDegradation:
+    def test_projected_overrun_degrades_a_degradable_query(self, scheduler):
+        # Deadline tighter than one EWMA service time: EDF projects a
+        # miss, and the recall model finds a cheaper approximate config.
+        victim = request(qos="standard", deadline_ms=0.01)
+        to_run, _ = scheduler.prepare([victim], now_ms=0.0)
+        assert to_run == [victim]
+        assert victim.degraded
+        assert victim.recall_target == scheduler.policy.degraded_recall
+        assert 0.0 < victim.expected_recall <= 1.0
+        assert [d.action for d in scheduler.decisions] == [DEGRADE]
+
+    def test_gold_is_never_degraded(self, scheduler):
+        victim = request(qos="gold", deadline_ms=0.01)
+        scheduler.prepare([victim], now_ms=0.0)
+        assert not victim.degraded
+        assert victim.recall_target == 1.0
+
+    def test_comfortable_deadlines_stay_exact(self, scheduler):
+        victim = request(qos="standard", deadline_ms=100.0)
+        scheduler.prepare([victim], now_ms=0.0)
+        assert not victim.degraded
+
+    def test_explicitly_approximate_queries_are_left_alone(self, scheduler):
+        victim = request(qos="standard", deadline_ms=0.01)
+        victim.recall_target = 0.95  # the tenant already chose a target
+        scheduler.prepare([victim], now_ms=0.0)
+        assert not victim.degraded
+        assert victim.recall_target == 0.95
+
+
+class TestAdmission:
+    def test_over_budget_class_is_rejected(self, scheduler):
+        budget = scheduler.policy.class_named("best-effort").queue_budget
+        assert scheduler.admit("best-effort", budget - 1) is None
+        decision = scheduler.admit("best-effort", budget)
+        assert decision is not None and decision.action == REJECT
+        error = scheduler.rejection_error(decision)
+        assert isinstance(error, ResourceExhaustedError)
+
+
+class TestBookkeeping:
+    def test_note_run_logs_exactly_once(self, scheduler):
+        req = request(deadline_ms=50.0)
+        # prepare() may see the same queued request across many cycles and
+        # must not log RUN; the single RUN entry comes at execution time.
+        scheduler.prepare([req], now_ms=0.0)
+        scheduler.prepare([req], now_ms=0.1)
+        assert scheduler.decisions == []
+        scheduler.note_run(req)
+        assert [d.action for d in scheduler.decisions] == [RUN]
+
+    def test_ewma_tracks_observed_service_times(self, scheduler):
+        initial = scheduler.ewma_service_ms
+        scheduler.observe_service(10 * initial)
+        assert initial < scheduler.ewma_service_ms < 10 * initial
+
+
+class TestFifoControlArm:
+    def test_fifo_never_reorders_never_sheds_never_degrades(self, device):
+        fifo = FifoScheduler(device=device)
+        late = request(qos="best-effort", deadline_ms=0.001)
+        soon = request(qos="gold", deadline_ms=2.0)
+        to_run, shed = fifo.prepare([late, soon], now_ms=5.0)
+        assert to_run == [late, soon] and shed == []
+        assert not late.degraded
+        assert fifo.decisions == []
+
+    def test_fifo_ignores_class_budgets_but_validates_names(self, device):
+        from repro.errors import InvalidParameterError
+
+        fifo = FifoScheduler(device=device)
+        assert fifo.admit("best-effort", 10_000) is None
+        with pytest.raises(InvalidParameterError):
+            fifo.admit("platinum", 0)

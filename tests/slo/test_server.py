@@ -1,0 +1,121 @@
+"""SloTopKServer: QoS admission, deadlines, and shutdown on the thread path."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import reference_topk
+from repro.engine.session import Session
+from repro.engine.twitter import generate_tweets
+from repro.errors import (
+    InvalidParameterError,
+    ResourceExhaustedError,
+    ShutdownError,
+)
+from repro.resilience import BreakerPolicy
+from repro.slo import DEFAULT_CLASSES, SloPolicy, SloTopKServer
+
+
+class TestSubmission:
+    def test_round_trip_with_qos(self, device, rng):
+        data = rng.random(2048).astype(np.float32)
+        with SloTopKServer(device=device) as server:
+            outcome = server.submit(data, k=16, qos="gold").result(timeout=30)
+        expected_values, _ = reference_topk(data, 16)
+        assert np.array_equal(outcome.values, expected_values)
+
+    def test_unknown_qos_rejected(self, device, rng):
+        with SloTopKServer(device=device) as server:
+            with pytest.raises(InvalidParameterError):
+                server.submit(rng.random(64).astype(np.float32), k=2,
+                              qos="platinum")
+
+    def test_class_queue_budget_enforced(self, device, rng):
+        tiny = SloPolicy(
+            classes=tuple(
+                type(qos)(
+                    qos.name, qos.priority, qos.deadline_ms, 2,
+                    qos.degradable, qos.sheddable,
+                )
+                for qos in DEFAULT_CLASSES
+            )
+        )
+        data = rng.random(128).astype(np.float32)
+        server = SloTopKServer(device=device, policy=tiny, auto_start=False)
+        try:
+            futures = [server.submit(data, k=4, qos="standard")
+                       for _ in range(2)]
+            with pytest.raises(ResourceExhaustedError):
+                server.submit(data, k=4, qos="standard")
+            # Another class's budget is independent of the exhausted one.
+            futures.append(server.submit(data, k=4, qos="gold"))
+            server.start()
+            for future in futures:
+                assert future.result(timeout=30).values.shape == (4,)
+        finally:
+            server.close()
+
+    def test_deadline_accounting_lands_in_metrics(self, device, rng):
+        data = rng.random(1024).astype(np.float32)
+        with SloTopKServer(device=device) as server:
+            server.submit(data, k=8, qos="gold").result(timeout=30)
+            server.flush()
+            met = server.metrics.value("serving.deadline_met", qos="gold")
+            missed = server.metrics.value(
+                "serving.deadline_missed", qos="gold"
+            )
+        assert (met or 0) + (missed or 0) == 1
+
+
+class TestShutdown:
+    def test_close_fails_undispatched_slo_futures(self, device, rng):
+        server = SloTopKServer(device=device, auto_start=False)
+        future = server.submit(rng.random(64).astype(np.float32), k=2)
+        server.close()
+        with pytest.raises(ShutdownError):
+            future.result(timeout=5)
+
+
+class TestStats:
+    def test_stats_expose_the_slo_layer(self, device, rng):
+        with SloTopKServer(device=device) as server:
+            server.submit(rng.random(256).astype(np.float32), k=4).result(
+                timeout=30
+            )
+            server.flush()
+            stats = server.stats()
+        assert stats["slo"]["ewma_service_ms"] > 0
+        assert stats["slo"]["breaker"]["state"] == "closed"
+        assert stats["slo"]["decisions"] >= 1
+
+    def test_breaker_can_be_disabled(self, device):
+        with SloTopKServer(device=device, enable_breaker=False) as server:
+            assert server.breaker is None
+            assert server.stats()["slo"]["breaker"] is None
+
+
+class TestSessionIntegration:
+    def test_session_serve_slo_flag(self, device):
+        session = Session(device)
+        session.register(generate_tweets(4096, seed=7))
+        with session.serve(slo=True) as server:
+            assert isinstance(server, SloTopKServer)
+            outcome = server.submit(
+                table="tweets", column="likes_count", k=10, qos="best-effort"
+            ).result(timeout=30)
+        column = session.table("tweets").column("likes_count")
+        expected_values, _ = reference_topk(column, 10)
+        assert np.array_equal(outcome.values, expected_values)
+
+    def test_session_serve_accepts_a_policy(self, device):
+        session = Session(device)
+        policy = SloPolicy(
+            degraded_recall=0.97, breaker=BreakerPolicy(failure_threshold=5)
+        )
+        with session.serve(slo=policy) as server:
+            assert server.policy.degraded_recall == 0.97
+            assert server.breaker.policy.failure_threshold == 5
+
+    def test_session_serve_default_stays_plain(self, device):
+        session = Session(device)
+        with session.serve() as server:
+            assert not isinstance(server, SloTopKServer)
