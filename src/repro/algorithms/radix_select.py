@@ -34,6 +34,17 @@ from repro.gpu.counters import ExecutionTrace
 HISTOGRAM_INTS_PER_THREAD = 16
 
 
+def canonical_code_order(codes: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Indices sorting by (code desc, global row asc).
+
+    The canonical total order used across the system (``reference_topk``,
+    ``sharding.merge_topk``): larger values first, lower global row on
+    ties.  ``~code`` ascending is code descending for the unsigned key
+    codes, with the row as the stable secondary key.
+    """
+    return np.lexsort((rows, ~codes))
+
+
 def _descending_prefix_counts(histogram: np.ndarray) -> np.ndarray:
     """counts[d] -> number of elements with digit > d."""
     reversed_cumsum = np.cumsum(histogram[::-1])
@@ -98,19 +109,22 @@ class RadixSelectTopK(TopKAlgorithm):
             phase.set(passes=len(pass_fractions))
             registry = obs.active_metrics()
             if registry is not None:
-                for eta, _, _ in pass_fractions:
+                for eta, emitted_fraction, _ in pass_fractions:
                     registry.histogram("radix_select.survivor_fraction").observe(eta)
+                    registry.histogram("radix_select.emitted_fraction").observe(
+                        emitted_fraction
+                    )
 
         # Whatever candidates remain all tie at (or bound) the k-th value;
         # pad the result with them (Section 4.2's final step).
         if remaining > 0:
-            order = np.argsort(candidates, kind="stable")[::-1][:remaining]
+            order = canonical_code_order(candidates, candidate_rows)[:remaining]
             result_codes.append(candidates[order])
             result_rows.append(candidate_rows[order])
 
         all_codes = np.concatenate(result_codes)
         all_rows = np.concatenate(result_rows)
-        order = np.argsort(all_codes, kind="stable")[::-1][:k]
+        order = canonical_code_order(all_codes, all_rows)[:k]
         values = keycodec.decode(all_codes[order], data.dtype)
         indices = all_rows[order]
 
@@ -142,5 +156,6 @@ class RadixSelectTopK(TopKAlgorithm):
                 scatter.add_global_write(live * (eta + emitted_fraction) * width)
                 live *= eta
             trace.notes[f"eta_{index}"] = eta
+            trace.notes[f"emitted_{index}"] = emitted_fraction
         trace.notes["passes"] = len(pass_fractions)
         return trace

@@ -42,6 +42,14 @@ def _approx_bucket_factory(device: DeviceSpec | None) -> TopKAlgorithm:
     return ApproxBucketTopK(device)
 
 
+def _radik_factory(device: DeviceSpec | None) -> TopKAlgorithm:
+    # Imported lazily: radik reuses radix_select helpers and observability,
+    # both of which import this module's neighbors at package load time.
+    from repro.algorithms.radik import RadiKTopK
+
+    return RadiKTopK(device)
+
+
 def _sharded_factory(device: DeviceSpec | None) -> TopKAlgorithm:
     # Default shard count; callers that planned a specific Merge tree
     # resolve through create_for_node, which carries the partition count.
@@ -55,6 +63,7 @@ _REGISTRY: dict[str, AlgorithmFactory] = {
     "per-thread": PerThreadTopK,
     "per-thread-registers": PerThreadRegisterTopK,
     "radix-select": RadixSelectTopK,
+    "radik": _radik_factory,
     "bucket-select": BucketSelectTopK,
     "bitonic": _bitonic_factory,
     "bitonic-sort": _bitonic_sort_factory,

@@ -17,6 +17,7 @@ Examples::
     python -m repro approx-bench --baseline benchmarks/baselines/BENCH_approx.json
     python -m repro shard-bench --baseline benchmarks/baselines/BENCH_sharding.json
     python -m repro slo-bench --baseline benchmarks/baselines/BENCH_slo.json
+    python -m repro radix-bench --baseline benchmarks/baselines/BENCH_radix.json
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -284,6 +285,52 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument(
         "--baseline", default=None,
         help="gate the run against a committed BENCH_slo.json baseline",
+    )
+
+    radix = commands.add_parser(
+        "radix-bench",
+        help="sweep the RadiK-style radix kernel against the strawman and "
+             "bitonic across (k, batch): large-k crossover + fused batching",
+    )
+    radix.add_argument(
+        "--n", type=int, default=None, dest="model_n",
+        help="modeled input size of the k sweep (default: 2^26)",
+    )
+    radix.add_argument(
+        "--k", type=int, action="append", dest="ks", default=None,
+        help="result size; repeatable, strictly increasing "
+             "(default: 64 256 1024 2048)",
+    )
+    radix.add_argument(
+        "--batch", type=int, action="append", dest="batch_sizes", default=None,
+        help="batch size of the fused sweep; repeatable, strictly "
+             "increasing (default: 1 2 4 8)",
+    )
+    radix.add_argument(
+        "--batch-n", type=int, default=None,
+        help="row length of the batch sweep (default: 2048)",
+    )
+    radix.add_argument(
+        "--batch-k", type=int, default=None,
+        help="result size of the batch sweep (default: 64)",
+    )
+    radix.add_argument(
+        "--functional-cap", type=int, default=None,
+        help="functional array size cap (the trace still models --n)",
+    )
+    radix.add_argument("--seed", type=int, default=None)
+    radix.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    radix.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    radix.add_argument("--out", default=None,
+                       help="also write the JSON report to this path")
+    radix.add_argument(
+        "--baseline", default=None,
+        help="gate the run against a committed BENCH_radix.json baseline",
     )
     return parser
 
@@ -621,6 +668,89 @@ def _command_slo_bench(arguments) -> int:
     return status
 
 
+def _command_radix_bench(arguments) -> int:
+    import json
+
+    from repro.bench.radix import (
+        RadixWorkload,
+        check_baseline,
+        run_radix_benchmark,
+    )
+
+    defaults = RadixWorkload()
+    report = run_radix_benchmark(
+        RadixWorkload(
+            model_n=(
+                arguments.model_n
+                if arguments.model_n is not None
+                else defaults.model_n
+            ),
+            ks=tuple(arguments.ks) if arguments.ks else defaults.ks,
+            functional_cap=(
+                arguments.functional_cap
+                if arguments.functional_cap is not None
+                else defaults.functional_cap
+            ),
+            batch_sizes=(
+                tuple(arguments.batch_sizes)
+                if arguments.batch_sizes
+                else defaults.batch_sizes
+            ),
+            batch_n=(
+                arguments.batch_n
+                if arguments.batch_n is not None
+                else defaults.batch_n
+            ),
+            batch_k=(
+                arguments.batch_k
+                if arguments.batch_k is not None
+                else defaults.batch_k
+            ),
+            seed=arguments.seed if arguments.seed is not None else defaults.seed,
+        ),
+        device=get_device(arguments.device),
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    status = 0
+    if not report.identical:
+        print(
+            "error: a radix result is not bit-equal to the reference order",
+            file=sys.stderr,
+        )
+        status = 1
+    if not report.large_k_monotonic:
+        print(
+            "error: the monotonic large-k gate failed (speedup over bitonic "
+            "shrank with k, or radik lost a gated point)",
+            file=sys.stderr,
+        )
+        status = 1
+    if not report.batch_amortizes:
+        print(
+            "error: the fused batch did not beat per-query execution at "
+            "every batch >= 2",
+            file=sys.stderr,
+        )
+        status = 1
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        problems = check_baseline(report, baseline)
+        for problem in problems:
+            print(f"baseline regression: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -645,6 +775,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_shard_bench(arguments)
         if arguments.command == "slo-bench":
             return _command_slo_bench(arguments)
+        if arguments.command == "radix-bench":
+            return _command_radix_bench(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

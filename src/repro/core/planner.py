@@ -18,6 +18,7 @@ from repro import observability as obs
 from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
 from repro.costmodel.bitonic_model import BitonicModel
 from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
+from repro.costmodel.radik_model import RadiKModel
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
 from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
@@ -34,6 +35,7 @@ class TopKPlanner:
         self.models: list[CostModel] = [
             BitonicModel(self.device),
             RadixSelectModel(self.device),
+            RadiKModel(self.device),
             SortModel(self.device),
             PerThreadModel(self.device),
             BucketSelectModel(self.device),
@@ -216,15 +218,19 @@ class TopKPlanner:
         profile: WorkloadProfile = UNIFORM_FLOAT,
         max_k: int = 2048,
     ) -> int | None:
-        """Smallest power-of-two k at which radix select overtakes bitonic.
+        """Smallest power-of-two k at which the radix family overtakes
+        bitonic.
 
         The headline decision boundary of the evaluation (bitonic wins up
-        to the crossover, radix select beyond); compares exactly the two
-        algorithms the paper models in Section 7.  Returns None if bitonic
+        to the crossover, radix beyond).  The radix side is the *family
+        minimum* — the cheaper of the paper's 2018 strawman
+        (:class:`RadixSelectModel`) and the RadiK-style adaptive kernel
+        (:class:`RadiKModel`), so the boundary reflects the best radix
+        implementation available to the planner.  Returns None if bitonic
         wins everywhere up to ``max_k``.
         """
         bitonic = BitonicModel(self.device)
-        radix = RadixSelectModel(self.device)
+        radix_family = (RadixSelectModel(self.device), RadiKModel(self.device))
         k = 1
         while k <= max_k:
             # Clamp before doing anything else: past k = n the comparison
@@ -235,7 +241,10 @@ class TopKPlanner:
             # prediction first could raise instead.
             if not bitonic.supports(n, effective_k, dtype):
                 return effective_k
-            radix_time = radix.predict_seconds(n, effective_k, dtype, profile)
+            radix_time = min(
+                model.predict_seconds(n, effective_k, dtype, profile)
+                for model in radix_family
+            )
             bitonic_time = bitonic.predict_seconds(n, effective_k, dtype, profile)
             if radix_time < bitonic_time:
                 return effective_k

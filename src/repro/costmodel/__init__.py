@@ -17,6 +17,7 @@ from repro.costmodel.other_models import (
     PerThreadModel,
     expected_heap_inserts,
 )
+from repro.costmodel.radik_model import RadiKModel, eta_over_bits
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
 from repro.costmodel.sharding_model import (
     SHARD_MIN_ROWS,
@@ -45,7 +46,9 @@ __all__ = [
     "BucketSelectModel",
     "PerThreadModel",
     "expected_heap_inserts",
+    "RadiKModel",
     "RadixSelectModel",
+    "eta_over_bits",
     "SHARD_MIN_ROWS",
     "ShardChoice",
     "SortModel",

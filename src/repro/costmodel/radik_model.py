@@ -1,0 +1,134 @@
+"""Cost model for the RadiK-style adaptive radix top-k.
+
+Mirrors the pass schedule of :class:`repro.algorithms.radik.RadiKTopK`
+analytically: digit widths come from :func:`~repro.algorithms.radik.plan_width`
+over the *predicted* survivor counts, and the scatter decision from the
+same buffer budget the kernel uses.  Survivor fractions are taken from
+the workload profile's per-8-bit etas and interpolated per bit — a w-bit
+pass over bits that an 8-bit pass would cut by eta cuts by
+``eta ** (w / 8)`` (uniform order statistics are memoryless in the bit
+position).
+
+Pass i over ``materialized`` elements costs (bandwidth terms only, peak
+B_G like every Section 7 model):
+
+    T_hist    = (materialized * width_bytes + H_w) / B_G
+    T_prefix  = 2 * H_w / B_G
+    T_scatter = (read + written) * width_bytes / B_G   (deferred passes
+                                                        pay nothing)
+
+where ``H_w = 2^w * 4 * blocks`` is the per-block shared-histogram flush
+— for adaptive widths this replaces the strawman's fixed per-thread
+histogram term.  Deferral is the model's core asymmetry: while the
+survivor set exceeds the buffer budget, a pass costs only its histogram
+read, so adversarial distributions degrade to sort-like scan costs
+without the strawman's full-size cluster writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import keys as keycodec
+from repro.algorithms.radik import buffer_budget, histogram_blocks, plan_width
+from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
+
+
+def eta_over_bits(
+    fractions: tuple[float, ...], cursor: int, width: int
+) -> float:
+    """Survivor fraction of a ``width``-bit pass starting at bit ``cursor``.
+
+    The profile's fractions are per 8-bit strawman pass; each overlapped
+    8-bit segment contributes ``fraction ** (overlap / 8)``.
+    """
+    eta = 1.0
+    start = cursor
+    end = cursor + width
+    while start < end:
+        segment = start // 8
+        fraction = (
+            fractions[segment] if segment < len(fractions) else fractions[-1]
+        )
+        take = min(end, (segment + 1) * 8) - start
+        eta *= fraction ** (take / 8.0)
+        start += take
+    return eta
+
+
+class RadiKModel(CostModel):
+    """Predicts RadiK runtime from the adaptive pass schedule."""
+
+    algorithm = "radik"
+
+    def __init__(self, device=None, num_threads: int | None = None):
+        super().__init__(device)
+        self.num_threads = num_threads or self.device.total_cores * 8
+
+    def _simulate(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype,
+        profile: WorkloadProfile,
+    ) -> tuple[float, int]:
+        """(predicted seconds, predicted pass count) for one selection."""
+        dtype = np.dtype(dtype)
+        width_bytes = keycodec.key_bytes(dtype)
+        bits = keycodec.key_bits(dtype)
+        bandwidth = self.device.global_bandwidth
+        fractions = profile.radix_survivor_fractions
+        budget = buffer_budget(k)
+
+        total = 0.0
+        executed = 0
+        live = float(n)
+        materialized = float(n)
+        buffered = False
+        cursor = 0
+        while live > k and cursor < bits:
+            width = plan_width(live / k, bits - cursor)
+            eta = eta_over_bits(fractions, cursor, width)
+            survivors = live * eta
+            executed += 1
+            blocks = histogram_blocks(self.num_threads, materialized)
+            histogram_bytes = (1 << width) * 4.0 * blocks
+            total += (materialized * width_bytes + histogram_bytes) / bandwidth
+            total += 2.0 * histogram_bytes / bandwidth
+            if buffered:
+                total += (live + survivors) * width_bytes / bandwidth
+                materialized = survivors
+            elif survivors <= budget:
+                # The filter pass: one more full read of the input, one
+                # buffer-sized write (survivors plus the emitted top
+                # elements, bounded by k).
+                total += (
+                    (materialized + survivors + k) * width_bytes / bandwidth
+                )
+                buffered = True
+                materialized = survivors
+            # Deferred passes pay nothing beyond their histogram.
+            cursor += width
+            live = survivors
+        final_elements = max(live, float(k))
+        total += (final_elements + k) * width_bytes / bandwidth
+        return total, executed
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        return self._simulate(n, k, dtype, profile)[0]
+
+    def predict_passes(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> int:
+        """Pass count the model charges for (the adaptive schedule's depth)."""
+        return self._simulate(n, k, dtype, profile)[1]

@@ -28,13 +28,15 @@ class RadixSelectModel(CostModel):
         super().__init__(device)
         self.num_threads = num_threads or self.device.total_cores * 8
 
-    def predict_seconds(
+    def _simulate(
         self,
         n: int,
         k: int,
-        dtype: np.dtype = np.dtype(np.float32),
-        profile: WorkloadProfile = UNIFORM_FLOAT,
-    ) -> float:
+        dtype: np.dtype,
+        profile: WorkloadProfile,
+        emitted_fractions: tuple[float, ...] | None = None,
+    ) -> tuple[float, int]:
+        """(predicted seconds, predicted pass count) for one selection."""
         dtype = np.dtype(dtype)
         width = keycodec.key_bytes(dtype)
         bandwidth = self.device.global_bandwidth
@@ -42,17 +44,55 @@ class RadixSelectModel(CostModel):
         passes = keycodec.key_bits(dtype) // 8
         fractions = profile.radix_survivor_fractions
         total = 0.0
-        live = float(n) * width
+        executed = 0
+        # Survivor count in *elements*, mirroring the candidate set of
+        # RadixSelectTopK.  The algorithm only stops once the survivors
+        # no longer exceed the result slots still open — ``remaining``
+        # shrinks as higher buckets are emitted — so the break compares
+        # against the remaining slots, not the original k.  Without
+        # emitted fractions the model charges nothing to ``remaining``
+        # and the condition degrades to the classic ``live <= k``.
+        live = float(n)
+        remaining = float(k)
         for index in range(passes):
             eta = fractions[index] if index < len(fractions) else fractions[-1]
-            total += (live + histogram_bytes) / bandwidth
+            executed += 1
+            total += (live * width + histogram_bytes) / bandwidth
             total += 2.0 * histogram_bytes / bandwidth
             if eta < 1.0:
-                total += (live + eta * live) / bandwidth
+                total += (1.0 + eta) * live * width / bandwidth
+                if emitted_fractions is not None and index < len(emitted_fractions):
+                    remaining -= live * emitted_fractions[index]
                 live *= eta
-            if live < width:
-                break
-        return total
+                if remaining <= 1e-6 or live <= remaining + 1e-6:
+                    break
+        return total, executed
+
+    def predict_seconds(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+    ) -> float:
+        return self._simulate(n, k, dtype, profile)[0]
+
+    def predict_passes(
+        self,
+        n: int,
+        k: int,
+        dtype: np.dtype = np.dtype(np.float32),
+        profile: WorkloadProfile = UNIFORM_FLOAT,
+        emitted_fractions: tuple[float, ...] | None = None,
+    ) -> int:
+        """Pass count the model charges for — comparable to the trace note.
+
+        With the measured per-pass ``emitted_fractions`` (the trace's
+        ``emitted_i`` notes) alongside the survivor fractions, the loop
+        terminates exactly where ``RadixSelectTopK`` did and the result
+        equals the trace's ``passes`` note bit-for-bit.
+        """
+        return self._simulate(n, k, dtype, profile, emitted_fractions)[1]
 
 
 class SortModel(CostModel):

@@ -254,11 +254,19 @@ class QueryExecutor:
         to exact single-key top-k strategies: approximate plans and the
         full-sort baseline stay single-device.
         """
+        num_keys = len(query.order_by_keys) if query.order_by_keys else 1
         ranked: list[tuple[str, float | None]] = []
         if approx_config is not None:
             ranked.append(("approx-bucket", None))
         else:
-            ranked.append(("bitonic", None))
+            kernel = "bitonic"
+            if strategy == "topk" and num_keys == 1:
+                kernel = self._exact_kernel(matched_model, k)
+            ranked.append((kernel, None))
+            if kernel != "bitonic":
+                # The bitonic network stays in the chain: a radix-planned
+                # selection degrades through it before the CPU oracle.
+                ranked.append(("bitonic", None))
         fallback = build_fallback(
             ranked,
             n=matched_model,
@@ -270,7 +278,6 @@ class QueryExecutor:
             terminal_cpu=True,
             child=self._input_plan(query, model_rows),
         )
-        num_keys = len(query.order_by_keys) if query.order_by_keys else 1
         if (
             self.shards > 1
             and approx_config is None
@@ -289,6 +296,32 @@ class QueryExecutor:
             )
             fallback = Fallback(alternatives=(merge, *fallback.alternatives))
         return fallback
+
+    def _exact_kernel(self, n: int, k: int) -> str:
+        """The exact selection kernel of the ``"topk"`` strategy.
+
+        Bitonic in the paper's regime; the RadiK-style adaptive radix
+        select once the radix family overtakes the network at model
+        scale (large k).  Only the separate-kernel strategy consults the
+        cost models: ``"fused"`` is inherently bitonic (the Section 5
+        buffer-filler is a rewrite of the SortReducer) and ``"sort"`` is
+        the full-sort baseline.
+        """
+        from repro.costmodel.bitonic_model import BitonicModel
+        from repro.costmodel.radik_model import RadiKModel
+
+        dtype = np.dtype(np.float32)
+        radik = RadiKModel(self.device)
+        bitonic = BitonicModel(self.device)
+        if not radik.supports(n, k, dtype):
+            return "bitonic"
+        if not bitonic.supports(n, k, dtype):
+            return "radik"
+        if radik.predict_seconds(n, k, dtype) < bitonic.predict_seconds(
+            n, k, dtype
+        ):
+            return "radik"
+        return "bitonic"
 
     # -- ORDER BY ... LIMIT k -------------------------------------------
 
@@ -422,6 +455,15 @@ class QueryExecutor:
                             _, indices = reference_topk(ranks, k)
                         outcome = (indices, None)
                         break
+                    # Stages that model their own kernels (the approximate
+                    # and sharded operators, and the adaptive radix select
+                    # whose pass schedule only the run itself knows) hand
+                    # their trace up; bitonic stages are re-accounted by
+                    # the query-level pipeline trace.
+                    own_trace = (
+                        isinstance(node, (ApproxTopK, Merge))
+                        or getattr(node, "algorithm", "") == "radik"
+                    )
                     for _attempt in range(self.fault_retries + 1):
                         try:
                             result = create_for_node(
@@ -429,17 +471,11 @@ class QueryExecutor:
                             ).run(
                                 ranks,
                                 k,
-                                model_n=(
-                                    matched_model
-                                    if isinstance(node, (ApproxTopK, Merge))
-                                    else None
-                                ),
+                                model_n=matched_model if own_trace else None,
                             )
                             outcome = (
                                 result.indices,
-                                result.trace
-                                if isinstance(node, (ApproxTopK, Merge))
-                                else None,
+                                result.trace if own_trace else None,
                             )
                             break
                         except FaultError:

@@ -107,10 +107,20 @@ def explain(
     plans = []
     for strategy in candidates:
         result = executor.execute(query, strategy=strategy, model_rows=model)
+        pipeline = list(_PIPELINES.get(strategy, ()))
+        if (
+            strategy == "topk"
+            and result.plan is not None
+            and getattr(result.plan, "chain", None) is not None
+            and result.plan.chain()[:1] == ["radik"]
+        ):
+            # Past the radix crossover the separate-kernel strategy runs
+            # the adaptive radix select instead of the bitonic network.
+            pipeline[1] = "radix top-k (RadiK adaptive passes)"
         plans.append(
             StrategyPlan(
                 strategy=strategy,
-                pipeline=tuple(_PIPELINES.get(strategy, ())),
+                pipeline=tuple(pipeline),
                 simulated_ms=result.simulated_ms(),
                 kernel_launches=result.trace.num_launches,
                 plan=result.plan,

@@ -26,6 +26,7 @@ from repro.plan.nodes import (
 )
 from repro.plan.plan import (
     BATCHABLE_ALGORITHM,
+    BATCHABLE_ALGORITHMS,
     PlanChoice,
     TopKPlan,
     build_fallback,
@@ -36,6 +37,7 @@ from repro.plan.plan import (
 
 __all__ = [
     "BATCHABLE_ALGORITHM",
+    "BATCHABLE_ALGORITHMS",
     "CPU_FALLBACK",
     "NODE_KINDS",
     "PLAN_FORMAT",

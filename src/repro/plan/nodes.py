@@ -252,6 +252,10 @@ class Batch(PlanNode):
     network_k: int = 1
     recall_target: float = 1.0
     approx_key: tuple | None = None
+    #: The fused kernel family serving the group ("bitonic" or "radik"):
+    #: riders must agree on it — the fused launch *is* that kernel, and
+    #: mixing families would change tie-breaking or cost attribution.
+    kernel: str = "bitonic"
     predicted_seconds: float | None = None
 
 

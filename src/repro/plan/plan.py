@@ -30,7 +30,13 @@ from repro.plan.nodes import (
     TopK,
 )
 
-#: The only algorithm the fused cross-query batched kernel implements.
+#: Algorithms with a fused cross-query batched kernel.  The bitonic
+#: network batches elementwise (:func:`repro.core.batched.batched_topk`);
+#: the RadiK-style radix select batches per-row pass state
+#: (:func:`repro.algorithms.radik.batched_radik_topk`).
+BATCHABLE_ALGORITHMS = frozenset({"bitonic", "radik"})
+
+#: Backwards-compatible alias from the bitonic-only batching era.
 BATCHABLE_ALGORITHM = "bitonic"
 
 
@@ -257,12 +263,17 @@ class TopKPlan:
             network_k=network_k(int(k if k is not None else self.k)),
             recall_target=float(self.recall_target),
             approx_key=approx_key,
+            kernel=(
+                self.algorithm
+                if self.algorithm in BATCHABLE_ALGORITHMS
+                else BATCHABLE_ALGORITHM
+            ),
         )
 
     @property
     def batchable(self) -> bool:
-        """Whether the fused batched kernel can serve this plan."""
-        return self.algorithm == BATCHABLE_ALGORITHM
+        """Whether a fused batched kernel can serve this plan."""
+        return self.algorithm in BATCHABLE_ALGORITHMS
 
     def to_dict(self) -> dict:
         """JSON-serializable plan for EXPLAIN --json and external tools."""

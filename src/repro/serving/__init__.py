@@ -14,6 +14,7 @@
 
 from repro.serving.batcher import (
     BATCHABLE_ALGORITHM,
+    BATCHABLE_ALGORITHMS,
     DEFAULT_MAX_BATCH,
     BatchKey,
     CrossQueryBatcher,
@@ -32,6 +33,7 @@ from repro.serving.scheduler import DEFAULT_MAX_PENDING, TopKServer
 
 __all__ = [
     "BATCHABLE_ALGORITHM",
+    "BATCHABLE_ALGORITHMS",
     "DEFAULT_CAPACITY",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_PENDING",

@@ -10,14 +10,19 @@ trace instead of N single-row traces.
 
 Eligibility is decided on the plan IR: every planned request derives a
 :class:`~repro.plan.Batch` compatibility node (row length, dtype, padded
-network width ``network_k = next_pow2(k)``, recall expectation, and the
-planned approximate configuration), and two requests share a fused launch
-iff their Batch nodes **fingerprint identically** and the plan cache
-picked ``bitonic`` — the fused batched kernel *is* the bitonic network,
-so batching a query the cost models routed elsewhere could change its
-answer's tie-breaking.  Queries with different literal ``k`` still share
-a batch because the network is built for the padded width and a smaller k
-is a prefix of the result (see ``docs/serving.md``).
+network width ``network_k = next_pow2(k)``, recall expectation, the
+planned approximate configuration, and the fused kernel family), and two
+requests share a fused launch iff their Batch nodes **fingerprint
+identically** and the plan cache picked a *batchable* algorithm — the
+bitonic network (:func:`~repro.core.batched.batched_topk`) or the
+RadiK-style radix select
+(:func:`~repro.algorithms.radik.batched_radik_topk`).  The kernel family
+rides in the Batch node, so bitonic-planned and radix-planned queries
+never share a launch: each fused kernel *is* its algorithm, and batching
+a query the cost models routed elsewhere could change its answer's
+tie-breaking.  Queries with different literal ``k`` still share a batch
+because both kernels emit rows in canonical descending order and a
+smaller k is a prefix of the result (see ``docs/serving.md``).
 
 A batch that hits an injected device fault is not failed: it falls back to
 per-query execution through :class:`~repro.resilience.ResilientExecutor`,
@@ -32,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import observability as obs
+from repro.algorithms.radik import batched_radik_topk
 from repro.bitonic.optimizations import FULL
 from repro.core.batched import batched_topk
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
@@ -40,7 +46,23 @@ from repro.gpu import faults
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import trace_time
 from repro.observability.metrics import MetricsRegistry
-from repro.plan import BATCHABLE_ALGORITHM, Batch, BoundPlan, TopKPlan, bind_plan
+from repro.plan import (
+    BATCHABLE_ALGORITHM,
+    BATCHABLE_ALGORITHMS,
+    Batch,
+    BoundPlan,
+    TopKPlan,
+    bind_plan,
+)
+
+__all__ = [
+    "BATCHABLE_ALGORITHM",
+    "BATCHABLE_ALGORITHMS",
+    "BatchKey",
+    "CrossQueryBatcher",
+    "QueryOutcome",
+    "ServingRequest",
+]
 from repro.plan import network_k as network_k  # re-exported serving helper
 from repro.resilience.executor import ResilientExecutor
 from repro.serving.plan_cache import PlanCache
@@ -107,7 +129,7 @@ class ServingRequest:
 
     @property
     def batchable(self) -> bool:
-        return self.plan is not None and self.plan.algorithm == BATCHABLE_ALGORITHM
+        return self.plan is not None and self.plan.algorithm in BATCHABLE_ALGORITHMS
 
 
 @dataclass
@@ -262,9 +284,16 @@ class CrossQueryBatcher:
     ) -> list[QueryOutcome]:
         max_k = max(request.k for request in group)
         matrix = np.stack([request.data for request in group])
-        result = batched_topk(
-            matrix, max_k, device=self.device, flags=self.flags
-        )
+        # The whole group shares one Batch fingerprint, which includes the
+        # planned kernel family — dispatch the matching fused launch.
+        # Smaller-k riders take a prefix of the fused result either way:
+        # both kernels emit rows in the canonical descending order.
+        if group[0].plan.algorithm == "radik":
+            result = batched_radik_topk(matrix, max_k, device=self.device)
+        else:
+            result = batched_topk(
+                matrix, max_k, device=self.device, flags=self.flags
+            )
         simulated_ms = trace_time(result.trace, self.device).total_ms
         self.batches += 1
         self.batched_queries += len(group)

@@ -122,3 +122,198 @@ class TestDataDependentCost:
             result = RadixSelectTopK().run(data, 32)
             expected, _ = reference_topk(data, 32)
             assert np.array_equal(np.sort(result.values)[::-1], expected)
+
+
+class TestTieBreakCanonicalOrder:
+    """Duplicate-heavy inputs: the result must be bit-equal to the CPU
+    reference — values AND indices — i.e. ties resolve to the (value
+    descending, lower row first) canonical order, not to whatever order
+    the scatter happened to preserve."""
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.uint32, np.int64]
+    )
+    def test_duplicate_heavy_matches_reference_bit_for_bit(self, dtype, rng):
+        # Eight distinct values over 4096 rows: every selection boundary
+        # lands inside a tie group.
+        if np.dtype(dtype).kind == "f":
+            data = rng.integers(0, 8, 4096).astype(dtype)
+        else:
+            data = rng.integers(0, 8, 4096, dtype=dtype)
+        for k in (1, 7, 100, 1000):
+            result = RadixSelectTopK().run(data, k)
+            expected_values, expected_indices = reference_topk(data, k)
+            assert np.array_equal(result.values, expected_values)
+            assert np.array_equal(result.indices, expected_indices)
+
+    def test_tied_kth_value_takes_lowest_rows(self):
+        data = np.zeros(512, dtype=np.float32)
+        data[::2] = 1.0  # 256 tied maxima on the even rows
+        result = RadixSelectTopK().run(data, 10)
+        assert np.array_equal(result.indices, np.arange(0, 20, 2))
+
+    def test_negative_float_ties(self, rng):
+        data = np.repeat(
+            np.array([-1.5, -2.5, -0.5], dtype=np.float32), 100
+        )
+        result = RadixSelectTopK().run(data, 150)
+        expected_values, expected_indices = reference_topk(data, 150)
+        assert np.array_equal(result.values, expected_values)
+        assert np.array_equal(result.indices, expected_indices)
+
+
+class TestAdversarialInputs:
+    def test_all_equal_input(self):
+        data = np.full(2048, 3.25, dtype=np.float32)
+        result = RadixSelectTopK().run(data, 64)
+        assert (result.values == 3.25).all()
+        assert np.array_equal(result.indices, np.arange(64))
+
+    def test_bucket_killer_matches_reference_exactly(self):
+        data = bucket_killer(1 << 14)
+        result = RadixSelectTopK().run(data, 100)
+        expected_values, expected_indices = reference_topk(data, 100)
+        assert np.array_equal(result.values, expected_values)
+        assert np.array_equal(result.indices, expected_indices)
+
+    def test_infinity_mix_matches_reference(self, rng):
+        data = rng.standard_normal(1024).astype(np.float32)
+        data[10:20] = np.inf
+        data[30:40] = -np.inf
+        result = RadixSelectTopK().run(data, 32)
+        expected_values, expected_indices = reference_topk(data, 32)
+        assert np.array_equal(result.values, expected_values)
+        assert np.array_equal(result.indices, expected_indices)
+
+    def test_nan_orders_above_infinity(self, rng):
+        """The documented radix-family artifact: NaN's key code exceeds
+        +inf's, so NaN rows surface first, then the infinities."""
+        data = rng.random(512).astype(np.float32)
+        data[7] = np.nan
+        data[11] = np.inf
+        result = RadixSelectTopK().run(data, 2)
+        assert result.indices.tolist() == [7, 11]
+
+    def test_k_equals_n_is_a_full_canonical_sort(self, rng):
+        data = rng.integers(0, 4, 256).astype(np.float32)
+        result = RadixSelectTopK().run(data, 256)
+        expected_values, expected_indices = reference_topk(data, 256)
+        assert np.array_equal(result.values, expected_values)
+        assert np.array_equal(result.indices, expected_indices)
+
+
+class TestEmittedFractionMetric:
+    """The per-pass emitted fraction is recorded alongside the survivor
+    fraction — both as an observability histogram and as trace notes."""
+
+    def _observed_run(self, data, k):
+        from repro import observability as obs
+
+        observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+        with observation.activate():
+            result = RadixSelectTopK().run(data, k)
+        return observation.metrics, result
+
+    def test_both_histograms_record_every_pass(self, rng):
+        metrics, result = self._observed_run(
+            rng.random(1 << 14).astype(np.float32), 64
+        )
+        passes = result.trace.notes["passes"]
+        survivor = metrics.histogram("radix_select.survivor_fraction")
+        emitted = metrics.histogram("radix_select.emitted_fraction")
+        assert survivor.count == passes
+        assert emitted.count == passes
+        assert 0.0 <= emitted.minimum and emitted.maximum <= 1.0
+
+    def test_all_equal_input_emits_nothing(self):
+        """Every pass of an all-equal input keeps the whole candidate set
+        (eta = 1) and emits no element early."""
+        metrics, result = self._observed_run(
+            np.ones(1 << 12, dtype=np.float32), 8
+        )
+        emitted = metrics.histogram("radix_select.emitted_fraction")
+        survivor = metrics.histogram("radix_select.survivor_fraction")
+        assert emitted.count == result.trace.notes["passes"]
+        assert emitted.maximum == 0.0
+        assert survivor.minimum == 1.0
+
+    def test_trace_notes_mirror_the_pass_fractions(self, rng):
+        result = RadixSelectTopK().run(
+            rng.random(1 << 14).astype(np.float32), 64
+        )
+        for index in range(result.trace.notes["passes"]):
+            eta = result.trace.notes[f"eta_{index}"]
+            emitted = result.trace.notes[f"emitted_{index}"]
+            assert 0.0 <= eta <= 1.0
+            assert 0.0 <= emitted <= 1.0
+            # A pass never emits and keeps more than it saw.
+            assert eta + emitted <= 1.0 + 1e-12
+
+
+class TestPredictedVsTracedPasses:
+    """The cost model's early-break accounting must mirror the kernel:
+    fed the measured survivor and emitted fractions, predict_passes equals
+    the trace's ``passes`` note exactly."""
+
+    DTYPES = [np.float32, np.float64, np.uint32, np.uint64, np.int32, np.int64]
+
+    @staticmethod
+    def _profile_for(dtype):
+        from repro.costmodel.base import UNIFORM_FLOAT, UNIFORM_UINT
+
+        return UNIFORM_FLOAT if np.dtype(dtype).kind == "f" else UNIFORM_UINT
+
+    @staticmethod
+    def _data_for(dtype, n, rng):
+        if np.dtype(dtype).kind == "f":
+            return rng.random(n).astype(dtype)
+        info = np.iinfo(dtype)
+        return rng.integers(info.min, info.max, n, dtype=dtype)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("k", [1, 8, 64, 512])
+    def test_measured_fractions_round_trip_exactly(self, dtype, k, rng):
+        from dataclasses import replace
+
+        from repro.costmodel.radix_model import RadixSelectModel
+
+        n = 1 << 16
+        result = RadixSelectTopK().run(self._data_for(dtype, n, rng), k)
+        traced = result.trace.notes["passes"]
+        etas = tuple(
+            result.trace.notes[f"eta_{index}"] for index in range(traced)
+        )
+        emitted = tuple(
+            result.trace.notes[f"emitted_{index}"] for index in range(traced)
+        )
+        profile = replace(
+            self._profile_for(dtype), radix_survivor_fractions=etas
+        )
+        predicted = RadixSelectModel().predict_passes(
+            n, k, np.dtype(dtype), profile, emitted_fractions=emitted
+        )
+        assert predicted == traced
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_survivors_alone_break_at_most_one_pass_early(self, dtype, rng):
+        """Without the measured emitted fractions the model cannot know
+        how many result slots each pass filled, so it may break one pass
+        early — never more, and never later than the kernel."""
+        from dataclasses import replace
+
+        from repro.costmodel.radix_model import RadixSelectModel
+
+        n = 1 << 16
+        for k in (8, 64, 512):
+            result = RadixSelectTopK().run(self._data_for(dtype, n, rng), k)
+            traced = result.trace.notes["passes"]
+            etas = tuple(
+                result.trace.notes[f"eta_{index}"] for index in range(traced)
+            )
+            profile = replace(
+                self._profile_for(dtype), radix_survivor_fractions=etas
+            )
+            predicted = RadixSelectModel().predict_passes(
+                n, k, np.dtype(dtype), profile
+            )
+            assert traced - 1 <= predicted <= traced

@@ -106,16 +106,20 @@ class TestCrossoverRegressions:
         k = 4 but compares effective_k = 3; the *effective* value must be
         returned, never a k that exceeds n."""
         from repro.costmodel.bitonic_model import BitonicModel
+        from repro.costmodel.radik_model import RadiKModel
         from repro.costmodel.radix_model import RadixSelectModel
 
         monkeypatch.setattr(
             BitonicModel, "predict_seconds", lambda self, n, k, *a, **kw: 1.0
         )
-        monkeypatch.setattr(
-            RadixSelectModel,
-            "predict_seconds",
-            lambda self, n, k, *a, **kw: 0.0 if k >= 3 else 10.0,
-        )
+        # Both radix-family models must be stubbed: crossover_k takes the
+        # family minimum, so an unpatched member would decide the outcome.
+        for model in (RadixSelectModel, RadiKModel):
+            monkeypatch.setattr(
+                model,
+                "predict_seconds",
+                lambda self, n, k, *a, **kw: 0.0 if k >= 3 else 10.0,
+            )
         crossover = TopKPlanner(device).crossover_k(3)
         assert crossover == 3  # pre-fix: returned 4 > n
 

@@ -1,0 +1,118 @@
+"""The RadiK cost model: per-bit eta interpolation, the adaptive pass
+schedule, deferral's write asymmetry, and the re-derived crossover
+against the bitonic network and the 2018 strawman."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.base import BUCKET_KILLER, UNIFORM_UINT
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.radik_model import RadiKModel, eta_over_bits
+from repro.costmodel.radix_model import RadixSelectModel
+
+N = 1 << 29
+
+
+class TestEtaOverBits:
+    def test_aligned_8_bit_segment_is_the_profile_fraction(self):
+        assert eta_over_bits((0.5, 0.25), 0, 8) == pytest.approx(0.5)
+        assert eta_over_bits((0.5, 0.25), 8, 8) == pytest.approx(0.25)
+
+    def test_spanning_segments_multiplies(self):
+        assert eta_over_bits((0.5, 0.25), 0, 16) == pytest.approx(0.125)
+
+    def test_partial_segment_takes_the_bit_root(self):
+        # Half an 8-bit segment contributes fraction ** (4/8).
+        assert eta_over_bits((0.5,), 0, 4) == pytest.approx(0.5**0.5)
+
+    def test_past_the_profile_reuses_the_last_fraction(self):
+        assert eta_over_bits((0.5, 0.25), 16, 8) == pytest.approx(0.25)
+
+    def test_two_half_passes_compose_to_one_full_pass(self):
+        full = eta_over_bits((0.3,), 0, 8)
+        halves = eta_over_bits((0.3,), 0, 4) * eta_over_bits((0.3,), 4, 4)
+        assert halves == pytest.approx(full)
+
+
+class TestSchedule:
+    def test_pass_count_is_bounded_by_the_minimum_width(self, device):
+        model = RadiKModel(device)
+        for k in (64, 256, 2048):
+            passes = model.predict_passes(N, k)
+            assert 1 <= passes <= 32 // 4
+
+    def test_larger_k_never_needs_more_passes(self, device):
+        """A larger k shrinks the surplus factor, so the adaptive schedule
+        can only get shallower."""
+        model = RadiKModel(device)
+        counts = [model.predict_passes(N, k) for k in (64, 1024, 2048)]
+        # Depth varies by at most one pass across the grid and the large-k
+        # end never plans deeper than the small-k end would justify.
+        assert max(counts) - min(counts) <= 1
+
+    def test_cost_is_nearly_flat_in_k(self, device):
+        model = RadiKModel(device)
+        small = model.predict_seconds(N, 64)
+        large = model.predict_seconds(N, 2048)
+        assert large < small * 1.1
+
+
+class TestDeferral:
+    def test_bucket_killer_stays_far_below_the_strawman(self, device):
+        """Deferred passes pay only their histogram read; the strawman
+        re-clusters the nearly-unreduced candidate set every pass."""
+        radik = RadiKModel(device).predict_seconds(
+            N, 64, np.dtype(np.float32), BUCKET_KILLER
+        )
+        strawman = RadixSelectModel(device).predict_seconds(
+            N, 64, np.dtype(np.float32), BUCKET_KILLER
+        )
+        assert radik < strawman / 2
+
+
+class TestCrossover:
+    """The re-derived crossover surface behind the planner's radix-family
+    choice (docs/cost_model.md): bitonic keeps small k, RadiK takes the
+    large-k end from both the network and the 2018 strawman."""
+
+    def test_bitonic_still_wins_small_k(self, device):
+        for k in (64, 256):
+            bitonic = BitonicModel(device).predict_seconds(N, k)
+            radik = RadiKModel(device).predict_seconds(N, k)
+            assert bitonic < radik
+
+    def test_radik_wins_large_k(self, device):
+        for k in (1024, 2048):
+            bitonic = BitonicModel(device).predict_seconds(N, k)
+            radik = RadiKModel(device).predict_seconds(N, k)
+            assert radik < bitonic
+
+    def test_radik_beats_the_strawman_at_large_k(self, device):
+        for k in (1024, 2048):
+            strawman = RadixSelectModel(device).predict_seconds(N, k)
+            radik = RadiKModel(device).predict_seconds(N, k)
+            assert radik < strawman
+
+    def test_uints_cheaper_than_floats(self, device):
+        model = RadiKModel(device)
+        floats = model.predict_seconds(N, 2048)
+        uints = model.predict_seconds(
+            N, 2048, np.dtype(np.uint32), UNIFORM_UINT
+        )
+        assert uints < floats
+
+
+class TestPlannerIntegration:
+    def test_planner_picks_radik_past_the_crossover(self, device):
+        from repro.core.planner import TopKPlanner
+
+        planner = TopKPlanner(device)
+        assert planner.choose(N, 64).algorithm != "radik"
+        assert planner.choose(N, 2048).algorithm == "radik"
+
+    def test_radik_plans_fall_back_through_bitonic(self, device):
+        from repro.core.planner import TopKPlanner
+
+        plan = TopKPlanner(device).choose(N, 2048)
+        chain = [name for name, _ in plan.candidates]
+        assert chain[0] == "radik"

@@ -182,3 +182,75 @@ class TestPlanCacheIntegration:
         cache = PlanCache(device=device)
         batcher = CrossQueryBatcher(plan_cache=cache, device=device)
         assert batcher.plan_cache is cache
+
+
+class TestRadixBatching:
+    """Radix-planned queries batch among themselves: the Batch node's
+    kernel family keeps them out of bitonic groups, and a fused group is
+    dispatched through batched_radik_topk."""
+
+    def test_radik_plans_share_a_group(self, device, rng):
+        batcher = CrossQueryBatcher(device=device)
+        requests = make_requests(rng, 5)
+        for request in requests:
+            force_plan(request, "radik")
+        groups = batcher.group(requests)
+        assert len(groups) == 1
+        assert len(groups[0]) == 5
+
+    def test_radik_and_bitonic_plans_never_mix(self, device, rng):
+        batcher = CrossQueryBatcher(device=device)
+        requests = make_requests(rng, 6)
+        for index, request in enumerate(requests):
+            force_plan(
+                request, "radik" if index % 2 else BATCHABLE_ALGORITHM
+            )
+        groups = batcher.group(requests)
+        assert sorted(len(group) for group in groups) == [3, 3]
+        for group in groups:
+            algorithms = {request.plan.algorithm for request in group}
+            assert len(algorithms) == 1
+
+    def test_batch_nodes_fingerprint_differently_per_kernel(self, device, rng):
+        a, b = make_requests(rng, 2)
+        force_plan(a, "radik")
+        force_plan(b, BATCHABLE_ALGORITHM)
+        assert a.key.fingerprint() != b.key.fingerprint()
+
+    def test_fused_radik_group_is_bit_equal_to_single_row(self, device, rng):
+        batcher = CrossQueryBatcher(device=device)
+        requests = make_requests(rng, 4, n=400, k=8)
+        for request in requests:
+            force_plan(request, "radik")
+        outcomes = batcher.execute(requests)
+        single = create("radik", device)
+        for request, outcome in zip(requests, outcomes):
+            expected = single.run(request.data, request.k)
+            assert np.array_equal(outcome.values, expected.values)
+            assert np.array_equal(outcome.indices, expected.indices)
+            assert outcome.batched and outcome.batch_size == 4
+            assert outcome.algorithm == "batched-radik"
+        assert batcher.batches == 1 and batcher.batched_queries == 4
+
+    def test_mixed_k_radik_batch_answers_each_at_its_own_k(self, device, rng):
+        batcher = CrossQueryBatcher(device=device)
+        a = ServingRequest(data=rng.random(256).astype(np.float32), k=9)
+        b = ServingRequest(data=rng.random(256).astype(np.float32), k=14)
+        for request in (a, b):
+            force_plan(request, "radik")
+        first, second = batcher.execute([a, b])
+        assert first.values.shape == (9,)
+        assert second.values.shape == (14,)
+        for request, outcome in ((a, first), (b, second)):
+            expected_values, expected_indices = reference_topk(
+                request.data, request.k
+            )
+            assert np.array_equal(outcome.values, expected_values)
+            assert np.array_equal(outcome.indices, expected_indices)
+
+    def test_radik_is_declared_batchable(self):
+        from repro.serving import BATCHABLE_ALGORITHMS
+
+        assert "radik" in BATCHABLE_ALGORITHMS
+        assert BATCHABLE_ALGORITHM in BATCHABLE_ALGORITHMS
+        assert "radix-select" not in BATCHABLE_ALGORITHMS

@@ -62,6 +62,13 @@ CASES = [
         1,
     ),
     (
+        # Past the radix crossover: the planner must pick the RadiK-style
+        # adaptive kernel over bitonic at LIMIT 2048 on the modeled table.
+        "large-k",
+        "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 2048",
+        1,
+    ),
+    (
         "shard-2",
         "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 50",
         2,
