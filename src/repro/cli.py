@@ -18,6 +18,7 @@ Examples::
     python -m repro shard-bench --baseline benchmarks/baselines/BENCH_sharding.json
     python -m repro slo-bench --baseline benchmarks/baselines/BENCH_slo.json
     python -m repro radix-bench --baseline benchmarks/baselines/BENCH_radix.json
+    python -m repro calibrate --store calibration.json
 
 Every command reports failures as one-line typed errors on stderr, with a
 distinct exit code per :class:`~repro.errors.ReproError` subclass (see
@@ -331,6 +332,46 @@ def build_parser() -> argparse.ArgumentParser:
     radix.add_argument(
         "--baseline", default=None,
         help="gate the run against a committed BENCH_radix.json baseline",
+    )
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="replay a seeded workload through every candidate kernel, fit "
+             "per-kernel correction factors, and report planner Q-error "
+             "before/after calibration",
+    )
+    calibrate.add_argument(
+        "--n", type=int, action="append", dest="ns", default=None,
+        help="input size of the replay grid; repeatable, strictly "
+             "increasing (default: 16384 65536 262144)",
+    )
+    calibrate.add_argument(
+        "--k", type=int, action="append", dest="ks", default=None,
+        help="result size of the replay grid; repeatable, strictly "
+             "increasing (default: 8 64 256 1024)",
+    )
+    calibrate.add_argument(
+        "--profile", default=None, choices=sorted(PROFILES),
+        help="workload profile of the replay (default: uniform-float)",
+    )
+    calibrate.add_argument("--seed", type=int, default=None)
+    calibrate.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    calibrate.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of the text summary",
+    )
+    calibrate.add_argument("--out", default=None,
+                           help="also write the JSON report to this path")
+    calibrate.add_argument(
+        "--store", default=None,
+        help="persist the fitted calibration store to this JSON path",
+    )
+    calibrate.add_argument(
+        "--load", default=None,
+        help="seed the store from a previously persisted JSON file "
+             "(the replay's samples append to it before the refit)",
     )
     return parser
 
@@ -751,6 +792,69 @@ def _command_radix_bench(arguments) -> int:
     return status
 
 
+def _command_calibrate(arguments) -> int:
+    import json
+
+    from repro.bench.calibrate import (
+        CalibrationWorkload,
+        run_calibration_benchmark,
+    )
+    from repro.costmodel.calibration import CalibrationStore
+
+    defaults = CalibrationWorkload()
+    workload = CalibrationWorkload(
+        ns=tuple(arguments.ns) if arguments.ns else defaults.ns,
+        ks=tuple(arguments.ks) if arguments.ks else defaults.ks,
+        profile_name=(
+            arguments.profile
+            if arguments.profile is not None
+            else defaults.profile_name
+        ),
+        seed=arguments.seed if arguments.seed is not None else defaults.seed,
+    )
+    store = (
+        CalibrationStore.load(arguments.load)
+        if arguments.load
+        else CalibrationStore()
+    )
+    report = run_calibration_benchmark(
+        workload, device=get_device(arguments.device), store=store
+    )
+    payload = report.to_dict()
+    if arguments.out:
+        with open(arguments.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.store:
+        store.save(arguments.store)
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    status = 0
+    if not report.q_error_improves:
+        print(
+            "error: post-calibration p95 Q-error exceeds pre-calibration",
+            file=sys.stderr,
+        )
+        status = 1
+    if not report.decisions_optimal:
+        print(
+            "error: a fitted correction drifted a planner decision away "
+            "from the observed optimum",
+            file=sys.stderr,
+        )
+        status = 1
+    if not report.default_unchanged:
+        print(
+            "error: replanning with calibrate=False did not reproduce the "
+            "baseline decisions",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -777,6 +881,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_slo_bench(arguments)
         if arguments.command == "radix-bench":
             return _command_radix_bench(arguments)
+        if arguments.command == "calibrate":
+            return _command_calibrate(arguments)
     except ReproError as error:
         # One-line typed diagnostics; each error class has its own exit
         # code so scripts can dispatch on the failure mode.

@@ -17,6 +17,7 @@ import numpy as np
 from repro import observability as obs
 from repro.costmodel.base import UNIFORM_FLOAT, CostModel, WorkloadProfile
 from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.calibration import CalibratedModel, CalibrationStore
 from repro.costmodel.other_models import BucketSelectModel, PerThreadModel
 from repro.costmodel.radik_model import RadiKModel
 from repro.costmodel.radix_model import RadixSelectModel, SortModel
@@ -30,9 +31,24 @@ __all__ = ["PlanChoice", "TopKPlan", "TopKPlanner"]
 class TopKPlanner:
     """Chooses a top-k algorithm via the Section 7 cost models."""
 
-    def __init__(self, device: DeviceSpec | None = None):
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        calibration: CalibrationStore | None = None,
+        calibrate: bool = False,
+    ):
+        """``calibrate=True`` prices every candidate through a
+        :class:`~repro.costmodel.calibration.CalibratedModel` over
+        ``calibration`` (a fresh store when none is given), so fitted
+        per-kernel correction factors move the ranking.  The default
+        ``calibrate=False`` never constructs the wrappers — decisions,
+        fingerprints, and the EXPLAIN goldens stay bit-identical to the
+        uncalibrated planner even when a store is attached.
+        """
         self.device = device or get_device()
-        self.models: list[CostModel] = [
+        self.calibrate = bool(calibrate)
+        self.calibration = calibration
+        models: list[CostModel] = [
             BitonicModel(self.device),
             RadixSelectModel(self.device),
             RadiKModel(self.device),
@@ -40,6 +56,13 @@ class TopKPlanner:
             PerThreadModel(self.device),
             BucketSelectModel(self.device),
         ]
+        if self.calibrate:
+            if self.calibration is None:
+                self.calibration = CalibrationStore()
+            models = [
+                CalibratedModel(model, self.calibration) for model in models
+            ]
+        self.models = models
 
     def choose(
         self,

@@ -135,6 +135,23 @@ def topk(
         if not largest:
             # Map the reversed-key results back to the original values.
             result.values = values[result.indices].copy()
+        if algorithm == "auto" and (model_n is None or model_n == len(values)):
+            # Close the prediction loop: the plan priced the executed
+            # kernel at exactly the traced size, so the pair calibrates.
+            # (With a foreign model_n predicted and observed model
+            # different inputs — no sample.)  A no-op unless a
+            # calibration store is captured in this context.
+            from repro.costmodel import calibration
+
+            if calibration.active_store() is not None:
+                predicted = dict(plan.candidates).get(result.algorithm)
+                if predicted is not None:
+                    calibration.record_sample(
+                        plan.fingerprint(),
+                        result.algorithm,
+                        predicted * 1e3,
+                        result.simulated_ms(device),
+                    )
         span.set(algorithm=result.algorithm)
         registry = obs.active_metrics()
         if registry is not None:

@@ -12,6 +12,15 @@ from repro.costmodel.base import (
 )
 from repro.costmodel.approx_model import ApproxTopKModel, choose_config
 from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.calibration import (
+    CalibratedModel,
+    CalibrationSample,
+    CalibrationStore,
+    active_store,
+    capturing,
+    q_error,
+    record_sample,
+)
 from repro.costmodel.other_models import (
     BucketSelectModel,
     PerThreadModel,
@@ -27,7 +36,9 @@ from repro.costmodel.sharding_model import (
 )
 from repro.costmodel.whatif import (
     CrossoverPoint,
+    PredictionDelta,
     crossover_vs_bandwidth_ratio,
+    prediction_deltas,
     sweep_devices,
 )
 
@@ -43,6 +54,13 @@ __all__ = [
     "ApproxTopKModel",
     "choose_config",
     "BitonicModel",
+    "CalibratedModel",
+    "CalibrationSample",
+    "CalibrationStore",
+    "active_store",
+    "capturing",
+    "q_error",
+    "record_sample",
     "BucketSelectModel",
     "PerThreadModel",
     "expected_heap_inserts",
@@ -55,6 +73,8 @@ __all__ = [
     "choose_shards",
     "predict_sharded_seconds",
     "CrossoverPoint",
+    "PredictionDelta",
     "crossover_vs_bandwidth_ratio",
+    "prediction_deltas",
     "sweep_devices",
 ]

@@ -12,16 +12,24 @@ questions directly:
   a wider range on newer hardware.
 * :func:`sweep_devices` — every registered profile's planner choices over
   k, the table a deployment engineer would want.
+* :func:`prediction_deltas` — given (kernel, predicted, observed) pairs,
+  the accuracy table: the raw millisecond delta *and* the symmetric
+  Q-error ``max(pred/obs, obs/pred)``.  A raw delta hides whether the
+  model over- or under-shoots proportionally (a +5 ms miss is noise at
+  100 ms and catastrophic at 1 ms); the Q-error is the number the
+  calibration gate (``docs/calibration.md``) actually bounds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 import numpy as np
 
 from repro.costmodel.base import UNIFORM_FLOAT, WorkloadProfile
 from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.calibration import q_error
 from repro.costmodel.radix_model import RadixSelectModel
 from repro.errors import InvalidParameterError
 from repro.gpu.device import DeviceSpec, get_device, list_devices
@@ -33,6 +41,65 @@ class CrossoverPoint:
 
     shared_to_global_ratio: float
     crossover_k: int | None
+
+
+@dataclass(frozen=True)
+class PredictionDelta:
+    """Model accuracy on one sample: the raw delta and the Q-error."""
+
+    kernel: str
+    predicted_ms: float
+    observed_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        """Signed raw miss (positive = the model undershot)."""
+        return self.observed_ms - self.predicted_ms
+
+    @property
+    def ratio(self) -> float:
+        """Observed over predicted — what a correction factor must supply."""
+        return self.observed_ms / self.predicted_ms
+
+    @property
+    def q_error(self) -> float:
+        """``max(pred/obs, obs/pred)`` — 1.0 is perfect, symmetric."""
+        return q_error(self.predicted_ms, self.observed_ms)
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "predicted_ms": self.predicted_ms,
+            "observed_ms": self.observed_ms,
+            "delta_ms": self.delta_ms,
+            "ratio": self.ratio,
+            "q_error": self.q_error,
+        }
+
+
+def prediction_deltas(
+    samples: Iterable[tuple[str, float, float]],
+) -> list[PredictionDelta]:
+    """Accuracy rows for ``(kernel, predicted_ms, observed_ms)`` samples.
+
+    Rejects non-positive times up front — a zero-cost prediction has no
+    ratio, and silently dropping it would understate the miss.
+    """
+    deltas = []
+    for kernel, predicted_ms, observed_ms in samples:
+        if predicted_ms <= 0.0 or observed_ms <= 0.0:
+            raise InvalidParameterError(
+                "prediction samples need positive times, got "
+                f"({kernel!r}, {predicted_ms}, {observed_ms})"
+            )
+        deltas.append(
+            PredictionDelta(
+                kernel=str(kernel),
+                predicted_ms=float(predicted_ms),
+                observed_ms=float(observed_ms),
+            )
+        )
+    return deltas
 
 
 def _crossover(device: DeviceSpec, n: int, dtype, profile) -> int | None:

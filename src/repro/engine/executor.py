@@ -404,9 +404,42 @@ class QueryExecutor:
             )
             if approx_trace is not None and approx_plan is not None:
                 trace.notes["approx.recall_target"] = effective_recall
+            self._record_calibration(plan, trace, matched_model, max(k, 1))
         return QueryResult(
             columns, trace, strategy, self.device, len(self.table),
             len(result_rows), plan=plan,
+        )
+
+    def _record_calibration(
+        self, plan: Fallback, trace: ExecutionTrace, n: int, k: int
+    ) -> None:
+        """Feed the calibration loop one (predicted, observed) pair.
+
+        A no-op unless a :mod:`repro.costmodel.calibration` store is
+        captured in this context (``Session(calibration=store)``).  The
+        prediction prices the plan's winning kernel at the modeled
+        selection size with its Section 7 model; the observation is the
+        simulated time of the whole query trace, so the fitted factor for
+        an engine-fed kernel absorbs the pipeline's scan/materialize
+        overhead alongside the selection itself — exactly the systematic
+        gap a planner comparing kernels under the same pipeline needs
+        corrected.  Winners without a predictive model (a sharded Merge,
+        the approximate operator) are not sampled.
+        """
+        from repro.costmodel import calibration
+
+        store = calibration.active_store()
+        if store is None or plan is None or not plan.alternatives:
+            return
+        winner = plan.alternatives[0]
+        kernel = getattr(winner, "algorithm", winner.kind)
+        model = calibration.base_model_for(kernel, self.device)
+        if model is None or not model.supports(n, k, np.dtype(np.float32)):
+            return
+        predicted_ms = model.predict_ms(n, k)
+        observed_ms = trace_time(trace, self.device).total_ms
+        calibration.record_sample(
+            plan.fingerprint(), kernel, predicted_ms, observed_ms
         )
 
     # -- the plan interpreter -------------------------------------------

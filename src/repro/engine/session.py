@@ -11,9 +11,11 @@
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, contextmanager
 
 from repro import observability as obs
+from repro.costmodel import calibration as calibration_capture
+from repro.costmodel.calibration import CalibrationStore
 from repro.bitonic.optimizations import FULL, OptimizationFlags
 from repro.engine.executor import (
     FUNCTIONAL_RETRIES,
@@ -51,6 +53,7 @@ class Session:
         fault_retries: int = FUNCTIONAL_RETRIES,
         recall_target: float = 1.0,
         shards: int = 1,
+        calibration: CalibrationStore | None = None,
     ):
         self.device = device or get_device()
         self.flags = flags
@@ -65,6 +68,10 @@ class Session:
         #: Partition count for exact top-k selections; above 1 the engine
         #: plans a Merge over per-shard subtrees (the sharding layer).
         self.shards = shards
+        #: When set, every query feeds the cost-model calibration loop:
+        #: the executor records (plan fingerprint, kernel, predicted ms,
+        #: observed ms) samples into this store (see docs/calibration.md).
+        self.calibration = calibration
         self._tables: dict[str, Table] = {}
         self.observation: obs.Observation | None = (
             obs.Observation(obs.Tracer(), obs.MetricsRegistry()) if trace else None
@@ -80,10 +87,17 @@ class Session:
         """The session's metrics registry (None unless trace=True)."""
         return self.observation.metrics if self.observation else None
 
+    @contextmanager
     def _observed(self):
-        if self.observation is None:
-            return nullcontext()
-        return self.observation.activate()
+        """Activate the session's observation and calibration scopes."""
+        with ExitStack() as stack:
+            if self.observation is not None:
+                stack.enter_context(self.observation.activate())
+            if self.calibration is not None:
+                stack.enter_context(
+                    calibration_capture.capturing(self.calibration)
+                )
+            yield
 
     def register(self, table: Table) -> None:
         """Register (or replace) a table by its name."""

@@ -161,6 +161,11 @@ class Summary:
         rank = max(0, math.ceil(q * len(self._values)) - 1)
         return self._values[rank]
 
+    @property
+    def maximum(self) -> float | None:
+        """Largest observation; None with no observations."""
+        return self.quantile(1.0)
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -170,6 +175,7 @@ class Summary:
                 f"p{int(q * 100)}": self.quantile(q)
                 for q in self.QUANTILES
             },
+            "max": self.maximum,
         }
 
 

@@ -53,6 +53,7 @@ def request_fingerprint(
     device: str,
     recall_target: float = 1.0,
     max_shards: int = 1,
+    calibration_epoch: int = 0,
 ) -> str:
     """Stable digest of a *plan request* — everything the planner reads.
 
@@ -61,22 +62,26 @@ def request_fingerprint(
     canonicalization, distinct ``kind``), so two requests collide iff the
     planner would see the identical question.  ``max_shards`` is part of
     the request: a sharding-enabled caller must never collide with a
-    single-device one on the same shape.
+    single-device one on the same shape.  ``calibration_epoch`` is the
+    store epoch of a calibrating planner — a refit that changes any
+    correction factor can change the decision, so the epoch must shear
+    the cache; at the default 0 (no calibration, or a store that never
+    fitted) the field is omitted from the canonical form, keeping every
+    pre-calibration digest byte-identical.
     """
-    canonical = json.dumps(
-        {
-            "kind": "PlanRequest",
-            "n": int(n),
-            "k": int(k),
-            "dtype": str(dtype),
-            "profile": str(profile),
-            "device": str(device),
-            "recall_target": float(recall_target),
-            "max_shards": int(max_shards),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    request = {
+        "kind": "PlanRequest",
+        "n": int(n),
+        "k": int(k),
+        "dtype": str(dtype),
+        "profile": str(profile),
+        "device": str(device),
+        "recall_target": float(recall_target),
+        "max_shards": int(max_shards),
+    }
+    if int(calibration_epoch) != 0:
+        request["calibration_epoch"] = int(calibration_epoch)
+    canonical = json.dumps(request, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 

@@ -95,7 +95,20 @@ class PlanCache:
         recall_target: float = 1.0,
     ) -> PlanKey:
         """The memoization key: the stable fingerprint of the plan request
-        (everything the planner's decision reads)."""
+        (everything the planner's decision reads).
+
+        A calibrating planner's decisions also read its store's fitted
+        correction factors, so the store *epoch* (bumped on every refit
+        that changes a factor) is part of the key — a drifted correction
+        must never serve a plan cached under the old factors.  With
+        ``calibrate=False`` (or a store that never fitted) the epoch is 0
+        and keys are byte-identical to the pre-calibration cache.
+        """
+        epoch = 0
+        if getattr(self.planner, "calibrate", False):
+            store = getattr(self.planner, "calibration", None)
+            if store is not None:
+                epoch = store.epoch
         return request_fingerprint(
             n,
             k,
@@ -104,6 +117,7 @@ class PlanCache:
             self.planner.device.name,
             recall_target,
             max_shards=self.max_shards,
+            calibration_epoch=epoch,
         )
 
     # -- the memoized calls -----------------------------------------------

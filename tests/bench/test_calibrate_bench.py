@@ -1,0 +1,149 @@
+"""The calibration replay benchmark and the `repro calibrate` CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.calibrate import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    CalibrationWorkload,
+    run_calibration_benchmark,
+)
+from repro.costmodel.calibration import CalibrationStore
+from repro.errors import InvalidParameterError
+
+# Small enough to keep the suite fast, big enough for every kernel to
+# clear the min_samples floor across the grid.
+WORKLOAD = {"ns": (1 << 10, 1 << 12, 1 << 14), "ks": (4, 16, 64), "seed": 7}
+
+
+@pytest.fixture(scope="module")
+def store():
+    return CalibrationStore()
+
+
+@pytest.fixture(scope="module")
+def report(store):
+    return run_calibration_benchmark(CalibrationWorkload(**WORKLOAD), store=store)
+
+
+class TestWorkloadValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ns": ()},
+            {"ks": ()},
+            {"ns": (1024, 1024)},  # not strictly increasing
+            {"ks": (64, 16)},
+            {"ns": (0, 1024)},
+            {"ks": (-1, 8)},
+            {"profile_name": "no-such-profile"},
+            {"seed": -1},
+        ],
+    )
+    def test_bad_workloads_raise(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CalibrationWorkload(**kwargs)
+
+    def test_configs_skip_k_greater_than_n(self):
+        workload = CalibrationWorkload(ns=(8, 1024), ks=(4, 512))
+        assert (8, 512) not in workload.configs()
+        assert (1024, 512) in workload.configs()
+
+    def test_data_is_seeded(self):
+        workload = CalibrationWorkload(**WORKLOAD)
+        assert (workload.data(1 << 10) == workload.data(1 << 10)).all()
+
+
+class TestReport:
+    def test_gates_pass_on_the_default_replay(self, report):
+        assert report.q_error_improves
+        assert report.decisions_optimal
+        assert report.default_unchanged
+        assert report.passed
+
+    def test_calibration_tightens_p95_q_error(self, report):
+        summary = report.q_error_summary()
+        assert summary["before"]["p95"] > 1.0  # the Figure 17 gap is real
+        assert summary["after"]["p95"] <= summary["before"]["p95"]
+
+    def test_every_config_produced_points_and_a_decision(self, report):
+        configs = CalibrationWorkload(**WORKLOAD).configs()
+        assert {(d.n, d.k) for d in report.decisions} == set(configs)
+        assert {(p.n, p.k) for p in report.points} == set(configs)
+
+    def test_fitted_factors_exceed_one(self, store, report):
+        # Peak-bandwidth models undershoot, so every correction inflates.
+        factors = store.factors()
+        assert factors
+        assert all(factor > 1.0 for factor in factors.values())
+
+    def test_to_dict_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["format"] == REPORT_FORMAT
+        assert payload["version"] == REPORT_VERSION
+        assert payload["passed"] is True
+        assert payload["q_error_improves"] is True
+        assert payload["decisions_optimal"] is True
+        assert payload["default_unchanged"] is True
+        assert len(payload["points"]) == len(report.points)
+        assert len(payload["decisions"]) == len(report.decisions)
+
+    def test_render_mentions_the_gates(self, report):
+        text = report.render()
+        assert "q_error_improves=True" in text
+        assert "decisions_optimal=True" in text
+        assert "default_unchanged=True" in text
+        assert "passed=True" in text
+        for kernel in sorted({point.kernel for point in report.points}):
+            assert kernel in text
+
+
+class TestCli:
+    def test_exit_zero_and_artifacts(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        store_path = tmp_path / "store.json"
+        argv = ["calibrate", "--seed", "7", "--json"]
+        for n in WORKLOAD["ns"]:
+            argv += ["--n", str(n)]
+        for k in WORKLOAD["ks"]:
+            argv += ["--k", str(k)]
+        argv += ["--out", str(out), "--store", str(store_path)]
+        assert main(argv) == 0
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        loaded = CalibrationStore.load(store_path)
+        assert loaded.epoch >= 1
+        assert loaded.factors()
+
+    def test_load_resumes_a_saved_store(self, tmp_path):
+        from repro.cli import main
+
+        store_path = tmp_path / "store.json"
+        argv = [
+            "calibrate", "--seed", "7", "--json",
+            "--n", "65536", "--n", "262144", "--k", "16", "--k", "256",
+        ]
+        assert main(argv + ["--store", str(store_path)]) == 0
+        first = CalibrationStore.load(store_path)
+        assert (
+            main(argv + ["--load", str(store_path), "--store", str(store_path)])
+            == 0
+        )
+        resumed = CalibrationStore.load(store_path)
+        assert resumed.sample_count() > first.sample_count()
+        # 4 samples/kernel sit below the floor; the resumed 8 clear it.
+        assert first.epoch == 0
+        assert resumed.epoch >= 1
+        assert resumed.factors()
+
+    def test_bad_grid_maps_to_invalid_parameter_exit_code(self):
+        from repro.cli import main
+        from repro.errors import EXIT_CODES
+
+        assert main(["calibrate", "--n", "0"]) == EXIT_CODES[
+            InvalidParameterError
+        ]

@@ -1,0 +1,479 @@
+"""The calibration loop: Q-error, the store and its fitter, the
+CalibratedModel wrapper, the planner knob, capture plumbing, plan-cache
+epoch keying, persistence, and determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.core.planner import TopKPlanner
+from repro.core.topk import topk
+from repro.costmodel.base import UNIFORM_FLOAT
+from repro.costmodel.bitonic_model import BitonicModel
+from repro.costmodel.calibration import (
+    CalibratedModel,
+    CalibrationSample,
+    CalibrationStore,
+    active_store,
+    capturing,
+    q_error,
+    record_sample,
+)
+from repro.errors import InvalidParameterError
+from repro.gpu.device import get_device
+from repro.plan.plan import request_fingerprint
+from repro.serving.plan_cache import PlanCache
+
+
+def sample(kernel="bitonic", predicted_ms=1.0, observed_ms=2.0, fp="f" * 16):
+    return CalibrationSample(
+        fingerprint=fp,
+        kernel=kernel,
+        predicted_ms=predicted_ms,
+        observed_ms=observed_ms,
+    )
+
+
+class TestQError:
+    def test_hand_computed_values(self):
+        """The formula is max(pred/obs, obs/pred) — pinned by hand."""
+        assert q_error(2.0, 1.0) == 2.0  # overestimate by 2x
+        assert q_error(1.0, 4.0) == 4.0  # underestimate by 4x
+        assert q_error(3.0, 3.0) == 1.0  # perfect
+        assert q_error(0.5, 0.1) == pytest.approx(5.0)
+        assert q_error(0.1, 0.5) == pytest.approx(5.0)  # symmetric
+
+    def test_is_at_least_one(self):
+        for predicted, observed in [(1.0, 1.5), (1.5, 1.0), (7.0, 7.0)]:
+            assert q_error(predicted, observed) >= 1.0
+
+    @pytest.mark.parametrize("pair", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_rejects_non_positive_times(self, pair):
+        with pytest.raises(InvalidParameterError):
+            q_error(*pair)
+
+
+class TestStoreValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"decay": 0.0},
+            {"decay": 1.5},
+            {"min_samples": 0},
+            {"window": 2, "min_samples": 5},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CalibrationStore(**kwargs)
+
+    def test_rejects_non_positive_sample_times(self):
+        store = CalibrationStore()
+        with pytest.raises(InvalidParameterError):
+            store.record(sample(predicted_ms=0.0))
+
+
+class TestFitting:
+    def test_factor_defaults_to_one(self):
+        assert CalibrationStore().factor("bitonic") == 1.0
+
+    def test_below_the_floor_no_factor_no_epoch(self):
+        store = CalibrationStore(min_samples=5)
+        for _ in range(4):
+            store.record(sample(observed_ms=2.0))
+        assert store.refit() == {}
+        assert store.factor("bitonic") == 1.0
+        assert store.epoch == 0
+
+    def test_median_ratio_at_the_floor(self):
+        store = CalibrationStore(min_samples=5)
+        for _ in range(5):
+            store.record(sample(predicted_ms=1.0, observed_ms=3.0))
+        assert store.refit() == {"bitonic": pytest.approx(3.0)}
+        assert store.factor("bitonic") == pytest.approx(3.0)
+        assert store.correct("bitonic", 2.0) == pytest.approx(6.0)
+        assert store.epoch == 1
+
+    def test_median_is_robust_to_one_outlier(self):
+        store = CalibrationStore(min_samples=5, decay=1.0)
+        for _ in range(6):
+            store.record(sample(observed_ms=2.0))
+        store.record(sample(observed_ms=500.0))  # one wild query
+        assert store.refit()["bitonic"] == pytest.approx(2.0)
+
+    def test_decay_weights_newer_samples(self):
+        store = CalibrationStore(min_samples=5, decay=0.9)
+        for _ in range(5):
+            store.record(sample(observed_ms=1.0))  # old regime: ratio 1
+        for _ in range(5):
+            store.record(sample(observed_ms=3.0))  # new regime: ratio 3
+        # With decay the newer half out-weighs the older half, so the
+        # weighted median sits in the new regime; an unweighted median
+        # of the ten ratios could land on either side.
+        assert store.refit()["bitonic"] == pytest.approx(3.0)
+
+    def test_epoch_bumps_only_on_change(self):
+        store = CalibrationStore(min_samples=2)
+        for _ in range(2):
+            store.record(sample(observed_ms=2.0))
+        store.refit()
+        assert store.epoch == 1
+        store.refit()  # same samples, same factors
+        assert store.epoch == 1
+        for _ in range(4):
+            store.record(sample(observed_ms=8.0))
+        store.refit()
+        assert store.epoch == 2
+
+    def test_window_trims_oldest(self):
+        store = CalibrationStore(min_samples=2, window=3)
+        for index in range(5):
+            store.record(sample(observed_ms=float(index + 1)))
+        history = store.samples("bitonic")
+        assert len(history) == 3
+        assert [entry.observed_ms for entry in history] == [3.0, 4.0, 5.0]
+
+    def test_kernels_are_fitted_independently(self):
+        store = CalibrationStore(min_samples=2)
+        for _ in range(2):
+            store.record(sample(kernel="bitonic", observed_ms=2.0))
+            store.record(sample(kernel="radik", observed_ms=5.0))
+        factors = store.refit()
+        assert factors == {
+            "bitonic": pytest.approx(2.0),
+            "radik": pytest.approx(5.0),
+        }
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        store = CalibrationStore(min_samples=2, decay=0.8, window=10)
+        for _ in range(3):
+            store.record(sample(observed_ms=2.5))
+        store.refit()
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = CalibrationStore.load(path)
+        assert loaded.decay == store.decay
+        assert loaded.min_samples == store.min_samples
+        assert loaded.window == store.window
+        assert loaded.epoch == store.epoch
+        assert loaded.factors() == store.factors()
+        assert loaded.samples() == store.samples()
+
+    def test_loaded_store_serves_factors_before_any_refit(self, tmp_path):
+        store = CalibrationStore(min_samples=1)
+        store.record(sample(observed_ms=4.0))
+        store.refit()
+        path = tmp_path / "store.json"
+        store.save(path)
+        assert CalibrationStore.load(path).factor("bitonic") == pytest.approx(4.0)
+
+    def test_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(InvalidParameterError):
+            CalibrationStore.load(path)
+        path.write_text(
+            json.dumps({"format": "repro-calibration-store", "version": 99})
+        )
+        with pytest.raises(InvalidParameterError):
+            CalibrationStore.load(path)
+
+
+class TestCalibratedModel:
+    def test_applies_the_factor(self):
+        device = get_device()
+        store = CalibrationStore(min_samples=1)
+        store.record(sample(kernel="bitonic", predicted_ms=1.0, observed_ms=2.0))
+        store.refit()
+        base = BitonicModel(device)
+        calibrated = CalibratedModel(base, store)
+        assert calibrated.algorithm == "bitonic"
+        raw = base.predict_seconds(1 << 16, 32)
+        assert calibrated.predict_seconds(1 << 16, 32) == pytest.approx(2.0 * raw)
+
+    def test_identity_before_fitting(self):
+        device = get_device()
+        base = BitonicModel(device)
+        calibrated = CalibratedModel(base, CalibrationStore())
+        assert calibrated.predict_seconds(1 << 16, 32) == pytest.approx(
+            base.predict_seconds(1 << 16, 32)
+        )
+
+    def test_supports_delegates(self):
+        device = get_device()
+        base = BitonicModel(device)
+        calibrated = CalibratedModel(base, CalibrationStore())
+        dtype = np.dtype(np.float32)
+        for k in (32, 1 << 20):
+            assert calibrated.supports(1 << 22, k, dtype) == base.supports(
+                1 << 22, k, dtype
+            )
+
+
+class TestPlannerKnob:
+    GRID = [(1 << 16, 8), (1 << 20, 64), (1 << 22, 1024), (1 << 24, 2048)]
+
+    def test_default_is_bit_identical(self):
+        """calibrate=False must not perturb decisions even with a fitted
+        store attached — the golden-decision guarantee."""
+        device = get_device()
+        store = CalibrationStore(min_samples=1)
+        store.record(sample(kernel="bitonic", observed_ms=100.0))
+        store.refit()
+        base = TopKPlanner(device)
+        attached = TopKPlanner(device, calibration=store, calibrate=False)
+        for n, k in self.GRID:
+            expected = base.choose(n, k)
+            actual = attached.choose(n, k)
+            assert actual.algorithm == expected.algorithm
+            assert actual.candidates == expected.candidates
+            assert actual.fingerprint() == expected.fingerprint()
+
+    def test_fitted_factor_flips_the_decision(self):
+        device = get_device()
+        n, k = 1 << 20, 64
+        baseline = TopKPlanner(device).choose(n, k)
+        assert baseline.algorithm == "bitonic"
+        # Penalize the winner 100x: the calibrated ranking must move on.
+        store = CalibrationStore(min_samples=1)
+        store.record(
+            sample(kernel="bitonic", predicted_ms=1.0, observed_ms=100.0)
+        )
+        store.refit()
+        calibrated = TopKPlanner(device, calibration=store, calibrate=True)
+        plan = calibrated.choose(n, k)
+        assert plan.algorithm != "bitonic"
+        ranked = dict(plan.candidates)
+        assert ranked["bitonic"] == pytest.approx(
+            100.0 * dict(baseline.candidates)["bitonic"]
+        )
+
+    def test_calibrate_true_builds_a_store_when_none_given(self):
+        planner = TopKPlanner(get_device(), calibrate=True)
+        assert isinstance(planner.calibration, CalibrationStore)
+        assert all(
+            isinstance(model, CalibratedModel) for model in planner.models
+        )
+
+
+class TestCapture:
+    def test_contextvar_scoping(self):
+        store = CalibrationStore()
+        assert active_store() is None
+        with capturing(store):
+            assert active_store() is store
+        assert active_store() is None
+
+    def test_record_sample_prefers_explicit_store(self):
+        scoped, explicit = CalibrationStore(), CalibrationStore()
+        with capturing(scoped):
+            record_sample("f" * 16, "bitonic", 1.0, 2.0, store=explicit)
+        assert explicit.sample_count() == 1
+        assert scoped.sample_count() == 0
+
+    def test_record_sample_skips_non_positive(self):
+        store = CalibrationStore()
+        assert record_sample("f" * 16, "bitonic", 0.0, 2.0, store=store) is None
+        assert store.sample_count() == 0
+
+    def test_topk_auto_records_one_sample_per_query(self):
+        store = CalibrationStore()
+        rng = np.random.default_rng(0)
+        data = rng.random(1 << 12, dtype=np.float32)
+        with capturing(store):
+            result = topk(data, 32)
+        (recorded,) = store.samples()
+        assert recorded.kernel == result.algorithm
+        assert recorded.predicted_ms > 0.0
+        assert recorded.observed_ms == pytest.approx(
+            result.simulated_ms(get_device())
+        )
+        assert len(recorded.fingerprint) == 16
+
+    def test_topk_with_foreign_model_n_does_not_sample(self):
+        """predicted (at len(values)) and observed (at model_n) price
+        different inputs — recording the pair would poison the fit."""
+        store = CalibrationStore()
+        rng = np.random.default_rng(0)
+        data = rng.random(1 << 12, dtype=np.float32)
+        with capturing(store):
+            topk(data, 32, model_n=1 << 24)
+        assert store.sample_count() == 0
+
+    def test_explicit_algorithm_does_not_sample(self):
+        """No plan, no prediction — nothing to calibrate."""
+        store = CalibrationStore()
+        rng = np.random.default_rng(0)
+        data = rng.random(1 << 12, dtype=np.float32)
+        with capturing(store):
+            topk(data, 32, algorithm="bitonic")
+        assert store.sample_count() == 0
+
+    def test_q_error_summary_published_per_kernel(self):
+        observation = obs.Observation(obs.Tracer(), obs.MetricsRegistry())
+        store = CalibrationStore()
+        rng = np.random.default_rng(0)
+        data = rng.random(1 << 12, dtype=np.float32)
+        with observation.activate(), capturing(store):
+            result = topk(data, 32)
+        records = [
+            record
+            for record in observation.metrics.snapshot()
+            if record["name"] == "planner.q_error"
+        ]
+        (record,) = records
+        assert record["labels"] == {"kernel": result.algorithm}
+        assert record["count"] == 1
+        assert record["p50"] >= 1.0
+        assert record["p95"] >= 1.0
+        assert record["max"] >= 1.0
+
+    def test_engine_session_records_samples(self):
+        from repro.engine import Session, generate_tweets
+
+        store = CalibrationStore()
+        session = Session(calibration=store)
+        session.register(generate_tweets(1 << 12, seed=3))
+        session.sql(
+            "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 50"
+        )
+        assert store.sample_count() == 1
+        (recorded,) = store.samples()
+        assert recorded.predicted_ms > 0.0
+        assert recorded.observed_ms > recorded.predicted_ms  # Figure 17 gap
+
+    def test_engine_without_a_store_stays_silent(self):
+        from repro.engine import Session, generate_tweets
+
+        session = Session()
+        session.register(generate_tweets(1 << 12, seed=3))
+        result = session.sql(
+            "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 50"
+        )
+        assert result.num_result_rows == 50  # unchanged behaviour
+
+
+class TestRequestFingerprintEpoch:
+    def test_epoch_zero_is_byte_identical_to_the_old_digest(self):
+        base = request_fingerprint(1024, 8, "float32", "uniform-float", "gpu")
+        assert base == request_fingerprint(
+            1024, 8, "float32", "uniform-float", "gpu", calibration_epoch=0
+        )
+
+    def test_epoch_shears_the_digest(self):
+        base = request_fingerprint(1024, 8, "float32", "uniform-float", "gpu")
+        epoch1 = request_fingerprint(
+            1024, 8, "float32", "uniform-float", "gpu", calibration_epoch=1
+        )
+        epoch2 = request_fingerprint(
+            1024, 8, "float32", "uniform-float", "gpu", calibration_epoch=2
+        )
+        assert len({base, epoch1, epoch2}) == 3
+
+
+class TestPlanCacheEpochKeying:
+    def _bump_epoch(self, store):
+        for _ in range(store.min_samples):
+            store.record(
+                sample(observed_ms=2.0 * (store.epoch + 1) + 1.0)
+            )
+        before = store.epoch
+        store.refit()
+        assert store.epoch == before + 1
+
+    def test_refit_shears_the_cache_key(self):
+        store = CalibrationStore()
+        planner = TopKPlanner(get_device(), calibration=store, calibrate=True)
+        cache = PlanCache(planner=planner)
+        key_before = cache.key(1 << 16, 8, np.float32)
+        self._bump_epoch(store)
+        key_after = cache.key(1 << 16, 8, np.float32)
+        assert key_before != key_after
+        self._bump_epoch(store)
+        assert cache.key(1 << 16, 8, np.float32) != key_after
+
+    def test_uncalibrated_cache_keys_are_unchanged(self):
+        device = get_device()
+        cache = PlanCache(planner=TopKPlanner(device))
+        assert cache.key(1 << 16, 8, np.float32) == request_fingerprint(
+            1 << 16,
+            8,
+            "float32",
+            "uniform-float",
+            device.name,
+            1.0,
+            max_shards=1,
+        )
+
+    def test_attached_but_disabled_store_does_not_key(self):
+        """calibrate=False ignores the store, so the cache must too."""
+        device = get_device()
+        store = CalibrationStore()
+        planner = TopKPlanner(device, calibration=store, calibrate=False)
+        cache = PlanCache(planner=planner)
+        key_before = cache.key(1 << 16, 8, np.float32)
+        self._bump_epoch(store)
+        assert cache.key(1 << 16, 8, np.float32) == key_before
+
+    def test_stale_plan_is_replanned_after_refit(self):
+        store = CalibrationStore()
+        planner = TopKPlanner(get_device(), calibration=store, calibrate=True)
+        cache = PlanCache(planner=planner)
+        cache.choose(1 << 16, 8, np.float32)
+        assert cache.misses == 1
+        cache.choose(1 << 16, 8, np.float32)
+        assert cache.hits == 1
+        self._bump_epoch(store)
+        cache.choose(1 << 16, 8, np.float32)
+        assert cache.misses == 2  # the epoch bump forced a replan
+
+
+class TestDeterminism:
+    """Same seed + workload => byte-identical store, identical factors."""
+
+    def _replay(self, tmp_path, tag):
+        from repro.bench.calibrate import (
+            CalibrationWorkload,
+            run_calibration_benchmark,
+        )
+
+        store = CalibrationStore()
+        workload = CalibrationWorkload(ns=(1 << 10, 1 << 12), ks=(4, 16), seed=11)
+        report = run_calibration_benchmark(workload, store=store)
+        path = tmp_path / f"store-{tag}.json"
+        store.save(path)
+        return report, store, path.read_bytes()
+
+    def test_byte_identical_store_and_identical_factors(self, tmp_path):
+        report_a, store_a, bytes_a = self._replay(tmp_path, "a")
+        report_b, store_b, bytes_b = self._replay(tmp_path, "b")
+        assert bytes_a == bytes_b
+        assert store_a.factors() == store_b.factors()
+        assert store_a.epoch == store_b.epoch
+        assert json.dumps(report_a.to_dict(), sort_keys=True) == json.dumps(
+            report_b.to_dict(), sort_keys=True
+        )
+
+    def test_a_different_seed_changes_the_samples(self, tmp_path):
+        from repro.bench.calibrate import (
+            CalibrationWorkload,
+            run_calibration_benchmark,
+        )
+
+        stores = []
+        for seed in (11, 12):
+            store = CalibrationStore()
+            run_calibration_benchmark(
+                CalibrationWorkload(ns=(1 << 10,), ks=(4,), seed=seed),
+                store=store,
+            )
+            stores.append(store)
+        observed = [
+            [entry.observed_ms for entry in store.samples()]
+            for store in stores
+        ]
+        assert observed[0] != observed[1]

@@ -53,3 +53,31 @@ class TestDeviceSweep:
         table = sweep_devices(ks=(256,))
         for device_name, choices in table.items():
             assert choices[256] == "bitonic", device_name
+
+
+class TestPredictionDeltas:
+    def test_q_error_pinned_on_hand_computed_samples(self):
+        from repro.costmodel.whatif import PredictionDelta, prediction_deltas
+
+        deltas = prediction_deltas(
+            [
+                ("bitonic", 2.0, 1.0),  # overestimate: q = 2/1
+                ("radik", 1.0, 4.0),  # underestimate: q = 4/1
+                ("sort", 3.0, 3.0),  # perfect: q = 1
+            ]
+        )
+        assert [delta.q_error for delta in deltas] == [2.0, 4.0, 1.0]
+        assert [delta.delta_ms for delta in deltas] == [-1.0, 3.0, 0.0]
+        assert deltas[1].ratio == pytest.approx(4.0)
+        payload = deltas[0].to_dict()
+        assert payload["kernel"] == "bitonic"
+        assert payload["q_error"] == 2.0
+        assert isinstance(deltas[0], PredictionDelta)
+
+    def test_rejects_non_positive_times(self):
+        from repro.costmodel.whatif import prediction_deltas
+
+        with pytest.raises(InvalidParameterError):
+            prediction_deltas([("bitonic", 0.0, 1.0)])
+        with pytest.raises(InvalidParameterError):
+            prediction_deltas([("bitonic", 1.0, -2.0)])

@@ -11,9 +11,11 @@ Three families of checks over ``README.md`` and ``docs/*.md``:
    smoke-run with ``--help`` and must exit 0.  This catches renamed or
    removed commands without paying for full example runs.
 3. **Coverage** — ``README.md`` must link every file under ``docs/``
-   (the docs index stays complete), and ``docs/architecture.md`` must
+   (the docs index stays complete), ``docs/architecture.md`` must
    mention every package under ``src/repro/`` (the module table stays
-   complete).
+   complete), and ``docs/cost_model.md`` must mention every
+   ``src/repro/costmodel/*_model.py`` module (no kernel ships an
+   undocumented cost model).
 
 Run from the repository root::
 
@@ -171,12 +173,37 @@ def check_architecture_coverage() -> list[str]:
     return problems
 
 
+def check_costmodel_coverage() -> list[str]:
+    """docs/cost_model.md mentions every costmodel ``*_model.py`` module.
+
+    A new kernel ships with a cost model; this keeps it from shipping
+    with an undocumented one — the module's filename (``radik_model``)
+    must appear in the cost-model reference.
+    """
+    reference = REPO_ROOT / "docs" / "cost_model.md"
+    if not reference.exists():
+        return ["docs/cost_model.md does not exist"]
+    text = reference.read_text()
+    problems = []
+    modules = sorted(
+        (REPO_ROOT / "src" / "repro" / "costmodel").glob("*_model.py")
+    )
+    for module in modules:
+        if module.stem not in text:
+            problems.append(
+                f"docs/cost_model.md does not cover "
+                f"src/repro/costmodel/{module.name}"
+            )
+    return problems
+
+
 def run_all() -> list[str]:
     return (
         check_links()
         + check_cli_examples()
         + check_docs_index()
         + check_architecture_coverage()
+        + check_costmodel_coverage()
     )
 
 
