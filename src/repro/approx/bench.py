@@ -33,6 +33,7 @@ from repro.bitonic.topk import BitonicTopK
 from repro.approx.bucketed import ApproxBucketTopK
 from repro.approx.config import ApproxConfig, default_config
 from repro.approx.recall import expected_recall, measured_recall
+from repro.bench.common import BASELINE_TOLERANCE, drifted
 from repro.errors import InvalidParameterError
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import trace_time
@@ -40,9 +41,6 @@ from repro.gpu.timing import trace_time
 #: JSON schema tag of a serialized report.
 REPORT_FORMAT = "repro-approx-bench"
 REPORT_VERSION = 1
-
-#: Relative tolerance when gating simulated milliseconds against a baseline.
-BASELINE_TOLERANCE = 0.15
 
 #: Absolute slack when gating recalls against a baseline (recall is
 #: deterministic per seed, but the slack keeps the gate robust to numpy
@@ -342,9 +340,7 @@ def check_baseline(report: ApproxBenchReport, baseline: dict) -> list[str]:
             ("approx_ms", point.approx_ms),
         ):
             expected_ms = expected[name]
-            if abs(measured_ms - expected_ms) > BASELINE_TOLERANCE * max(
-                expected_ms, 1e-9
-            ):
+            if drifted(measured_ms, expected_ms):
                 problems.append(
                     f"{label} {name} {measured_ms:.4f} deviates more than "
                     f"{BASELINE_TOLERANCE:.0%} from baseline {expected_ms:.4f}"

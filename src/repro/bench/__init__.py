@@ -1,5 +1,14 @@
-"""Benchmark harness: figure experiments and ASCII reporting."""
+"""Benchmark harness: figure experiments, shared CLI plumbing, reporting."""
 
+from repro.bench.common import (
+    BASELINE_TOLERANCE,
+    add_report_arguments,
+    apply_baseline,
+    apply_gates,
+    drifted,
+    finish_report,
+    write_report,
+)
 from repro.bench.figures import (
     DEFAULT_FUNCTIONAL_N,
     K_SWEEP,
@@ -10,6 +19,13 @@ from repro.bench.figures import (
 from repro.bench.report import Figure, Series, format_comparison, format_figure
 
 __all__ = [
+    "BASELINE_TOLERANCE",
+    "add_report_arguments",
+    "apply_baseline",
+    "apply_gates",
+    "drifted",
+    "finish_report",
+    "write_report",
     "DEFAULT_FUNCTIONAL_N",
     "K_SWEEP",
     "PAPER_N",

@@ -49,14 +49,12 @@ from repro.algorithms.radik import RadiKTopK, batched_radik_topk
 from repro.core.topk import topk
 from repro.errors import InvalidParameterError, ResourceExhaustedError
 from repro.gpu.device import DeviceSpec, get_device
+from repro.bench.common import BASELINE_TOLERANCE, drifted
 from repro.gpu.timing import trace_time
 
 #: JSON schema tag of a serialized report.
 REPORT_FORMAT = "repro-radix-bench"
 REPORT_VERSION = 1
-
-#: Relative tolerance when gating simulated milliseconds against a baseline.
-BASELINE_TOLERANCE = 0.15
 
 #: The k from which the large-k gate applies: RadiK must be no slower
 #: than the strawman, with non-decreasing speedup, at every gated k.
@@ -444,9 +442,7 @@ def check_baseline(report: RadixBenchReport, baseline: dict) -> list[str]:
             ("strawman_ms", point.strawman_ms),
         ):
             expected_ms = expected[key]
-            if abs(value - expected_ms) > BASELINE_TOLERANCE * max(
-                expected_ms, 1e-9
-            ):
+            if drifted(value, expected_ms):
                 problems.append(
                     f"{label} {key} {value:.4f} deviates more than "
                     f"{BASELINE_TOLERANCE:.0%} from baseline {expected_ms:.4f}"
@@ -465,9 +461,7 @@ def check_baseline(report: RadixBenchReport, baseline: dict) -> list[str]:
             continue
         label = f"point (batch={expected['batch']})"
         expected_ms = expected["batched_ms"]
-        if abs(point.batched_ms - expected_ms) > BASELINE_TOLERANCE * max(
-            expected_ms, 1e-9
-        ):
+        if drifted(point.batched_ms, expected_ms):
             problems.append(
                 f"{label} batched_ms {point.batched_ms:.4f} deviates more "
                 f"than {BASELINE_TOLERANCE:.0%} from baseline {expected_ms:.4f}"

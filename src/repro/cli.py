@@ -8,6 +8,7 @@ Examples::
     python -m repro plan --n 536870912 --k 256 --dtype uint32
     python -m repro explain "SELECT id FROM tweets ORDER BY retweet_count \\
         DESC LIMIT 50" --rows 262144 --model-rows 250000000
+    python -m repro explain --k 64 --window 262144 --chunk-rows 16384
     python -m repro trace --n 1048576 --k 32 --out trace.json
     python -m repro trace "SELECT id FROM tweets ORDER BY likes DESC \\
         LIMIT 50" --rows 262144
@@ -18,6 +19,7 @@ Examples::
     python -m repro shard-bench --baseline benchmarks/baselines/BENCH_sharding.json
     python -m repro slo-bench --baseline benchmarks/baselines/BENCH_slo.json
     python -m repro radix-bench --baseline benchmarks/baselines/BENCH_radix.json
+    python -m repro stream-bench --baseline benchmarks/baselines/BENCH_streaming.json
     python -m repro calibrate --store calibration.json
 
 Every command reports failures as one-line typed errors on stderr, with a
@@ -34,6 +36,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.algorithms.registry import list_algorithms
+from repro.bench.common import add_report_arguments, finish_report
 from repro.core.planner import TopKPlanner
 from repro.core.topk import topk
 from repro.costmodel.base import PROFILES, get_profile
@@ -87,9 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--device", default="titan-x-maxwell", choices=list_devices())
 
     explain = commands.add_parser(
-        "explain", help="cost out a SQL query on synthetic tweets"
+        "explain",
+        help="cost out a SQL query on synthetic tweets, or (with "
+             "--window/--decay) a continuous subscription over the stream",
     )
-    explain.add_argument("sql", help="the query text (table must be 'tweets')")
+    explain.add_argument(
+        "sql", nargs="?", default=None,
+        help="the query text (table must be 'tweets'); omitted for "
+             "subscription EXPLAIN (--window/--decay)",
+    )
     explain.add_argument("--rows", type=int, default=1 << 16,
                          help="functional table size")
     explain.add_argument("--model-rows", type=int, default=250_000_000)
@@ -103,6 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="partition budget; above 1 the exact strategies plan a Merge "
              "over per-shard Scan→TopK subtrees",
+    )
+    explain.add_argument(
+        "--window", type=int, default=None,
+        help="subscription EXPLAIN: sliding window in rows (a multiple of "
+             "--chunk-rows); prices incremental vs recompute maintenance",
+    )
+    explain.add_argument(
+        "--decay", type=float, default=None,
+        help="subscription EXPLAIN: per-tick exponential decay factor",
+    )
+    explain.add_argument(
+        "--chunk-rows", type=int, default=1 << 14,
+        help="subscription EXPLAIN: rows arriving per tick",
+    )
+    explain.add_argument(
+        "--k", type=int, default=64,
+        help="subscription EXPLAIN: result size",
     )
 
     for name, help_text in [
@@ -175,16 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the plan cache (replan every query)")
     serve.add_argument("--no-batch", action="store_true",
                        help="disable cross-query batching (serve per query)")
-    serve.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
-    )
-    serve.add_argument("--out", default=None,
-                       help="also write the JSON report to this path")
-    serve.add_argument(
-        "--baseline", default=None,
-        help="gate the run against a committed BENCH_serving.json baseline",
-    )
+    add_report_arguments(serve, "BENCH_serving.json")
 
     approx = commands.add_parser(
         "approx-bench",
@@ -212,16 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     approx.add_argument(
         "--device", default="titan-x-maxwell", choices=list_devices()
     )
-    approx.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
-    )
-    approx.add_argument("--out", default=None,
-                        help="also write the JSON report to this path")
-    approx.add_argument(
-        "--baseline", default=None,
-        help="gate the run against a committed BENCH_approx.json baseline",
-    )
+    add_report_arguments(approx, "BENCH_approx.json")
 
     shard = commands.add_parser(
         "shard-bench",
@@ -247,16 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--device", default="titan-x-maxwell", choices=list_devices()
     )
-    shard.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
-    )
-    shard.add_argument("--out", default=None,
-                       help="also write the JSON report to this path")
-    shard.add_argument(
-        "--baseline", default=None,
-        help="gate the run against a committed BENCH_sharding.json baseline",
-    )
+    add_report_arguments(shard, "BENCH_sharding.json")
 
     slo = commands.add_parser(
         "slo-bench",
@@ -277,16 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument(
         "--device", default="titan-x-maxwell", choices=list_devices()
     )
-    slo.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
-    )
-    slo.add_argument("--out", default=None,
-                     help="also write the JSON report to this path")
-    slo.add_argument(
-        "--baseline", default=None,
-        help="gate the run against a committed BENCH_slo.json baseline",
-    )
+    add_report_arguments(slo, "BENCH_slo.json")
 
     radix = commands.add_parser(
         "radix-bench",
@@ -323,16 +313,44 @@ def build_parser() -> argparse.ArgumentParser:
     radix.add_argument(
         "--device", default="titan-x-maxwell", choices=list_devices()
     )
-    radix.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
+    add_report_arguments(radix, "BENCH_radix.json")
+
+    stream = commands.add_parser(
+        "stream-bench",
+        help="drive the seeded tweet stream through incremental and "
+             "recompute maintenance: per-tick bit-equality + the "
+             "incremental speedup gate",
     )
-    radix.add_argument("--out", default=None,
-                       help="also write the JSON report to this path")
-    radix.add_argument(
-        "--baseline", default=None,
-        help="gate the run against a committed BENCH_radix.json baseline",
+    stream.add_argument("--k", type=int, default=None, help="result size")
+    stream.add_argument(
+        "--chunk-rows", type=int, default=None,
+        help="functional rows per tick (the equality oracle's chunk size)",
     )
+    stream.add_argument(
+        "--model-chunk-rows", type=int, default=None,
+        help="modeled rows per tick (the tick traces price this size)",
+    )
+    stream.add_argument(
+        "--window-chunks", type=int, default=None,
+        help="sliding window length in chunks",
+    )
+    stream.add_argument(
+        "--ticks", type=int, default=None,
+        help="stream length in ticks (must cover at least one window)",
+    )
+    stream.add_argument(
+        "--decay", type=float, default=None,
+        help="per-tick decay factor of the decayed arm",
+    )
+    stream.add_argument(
+        "--shards", type=int, default=None,
+        help="per-chunk summarize parallelism (contiguous shard ranges)",
+    )
+    stream.add_argument("--seed", type=int, default=None)
+    stream.add_argument(
+        "--device", default="titan-x-maxwell", choices=list_devices()
+    )
+    add_report_arguments(stream, "BENCH_streaming.json")
 
     calibrate = commands.add_parser(
         "calibrate",
@@ -358,12 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument(
         "--device", default="titan-x-maxwell", choices=list_devices()
     )
-    calibrate.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of the text summary",
-    )
-    calibrate.add_argument("--out", default=None,
-                           help="also write the JSON report to this path")
+    add_report_arguments(calibrate)
     calibrate.add_argument(
         "--store", default=None,
         help="persist the fitted calibration store to this JSON path",
@@ -419,11 +432,25 @@ def _command_plan(arguments) -> int:
 
 def _command_explain(arguments) -> int:
     from repro.engine.session import Session
-    from repro.engine.twitter import generate_tweets
 
     session = Session(shards=arguments.shards)
-    session.register(generate_tweets(arguments.rows, arguments.seed))
-    plan = session.explain(arguments.sql, model_rows=arguments.model_rows)
+    if arguments.window is not None or arguments.decay is not None:
+        plan = session.explain_stream(
+            arguments.k,
+            arguments.chunk_rows,
+            window=arguments.window,
+            decay=arguments.decay,
+        )
+    else:
+        if arguments.sql is None:
+            raise InvalidParameterError(
+                "explain needs a SQL query, or --window/--decay for a "
+                "subscription"
+            )
+        from repro.engine.twitter import generate_tweets
+
+        session.register(generate_tweets(arguments.rows, arguments.seed))
+        plan = session.explain(arguments.sql, model_rows=arguments.model_rows)
     if arguments.json:
         import json
 
@@ -511,8 +538,6 @@ def _command_chaos(arguments) -> int:
 
 
 def _command_serve_bench(arguments) -> int:
-    import json
-
     from repro.serving import Workload, check_baseline, run_serving_benchmark
 
     report = run_serving_benchmark(
@@ -528,35 +553,20 @@ def _command_serve_bench(arguments) -> int:
         batching=not arguments.no_batch,
         max_batch=arguments.max_batch,
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    if not report.identical:
-        print(
-            "error: served results are not bit-equal to sequential results",
-            file=sys.stderr,
-        )
-        return 1
-    if arguments.baseline:
-        with open(arguments.baseline) as handle:
-            baseline = json.load(handle)
-        problems = check_baseline(report, baseline)
-        for problem in problems:
-            print(f"baseline regression: {problem}", file=sys.stderr)
-        if problems:
-            return 1
-    return 0
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.identical,
+                "served results are not bit-equal to sequential results",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
 
 
 def _command_approx_bench(arguments) -> int:
-    import json
-
     from repro.approx import (
         ApproxWorkload,
         check_baseline,
@@ -578,33 +588,20 @@ def _command_approx_bench(arguments) -> int:
         ),
         device=get_device(arguments.device),
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    status = 0
-    if report.headline is not None and not report.passed:
-        print("error: the headline speedup/recall gate failed", file=sys.stderr)
-        status = 1
-    if arguments.baseline:
-        with open(arguments.baseline) as handle:
-            baseline = json.load(handle)
-        problems = check_baseline(report, baseline)
-        for problem in problems:
-            print(f"baseline regression: {problem}", file=sys.stderr)
-        if problems:
-            status = 1
-    return status
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.headline is None or report.passed,
+                "the headline speedup/recall gate failed",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
 
 
 def _command_shard_bench(arguments) -> int:
-    import json
-
     from repro.sharding import (
         ShardWorkload,
         check_baseline,
@@ -634,44 +631,26 @@ def _command_shard_bench(arguments) -> int:
         ),
         device=get_device(arguments.device),
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    status = 0
-    if not report.identical:
-        print(
-            "error: sharded results are not bit-equal to the single-device "
-            "reference",
-            file=sys.stderr,
-        )
-        status = 1
-    if not report.monotonic:
-        print(
-            "error: simulated time does not improve monotonically across "
-            "the gated shard counts",
-            file=sys.stderr,
-        )
-        status = 1
-    if arguments.baseline:
-        with open(arguments.baseline) as handle:
-            baseline = json.load(handle)
-        problems = check_baseline(report, baseline)
-        for problem in problems:
-            print(f"baseline regression: {problem}", file=sys.stderr)
-        if problems:
-            status = 1
-    return status
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.identical,
+                "sharded results are not bit-equal to the single-device "
+                "reference",
+            ),
+            (
+                report.monotonic,
+                "simulated time does not improve monotonically across the "
+                "gated shard counts",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
 
 
 def _command_slo_bench(arguments) -> int:
-    import json
-
     from repro.slo import DEFAULT_RATES, check_baseline, run_slo_benchmark
 
     report = run_slo_benchmark(
@@ -681,37 +660,21 @@ def _command_slo_bench(arguments) -> int:
         seed=arguments.seed,
         device=get_device(arguments.device),
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    status = 0
-    if not report.passed:
-        print(
-            "error: an SLO property gate failed (dominance, recall honesty, "
-            "or below-saturation exactness)",
-            file=sys.stderr,
-        )
-        status = 1
-    if arguments.baseline:
-        with open(arguments.baseline) as handle:
-            baseline = json.load(handle)
-        problems = check_baseline(report, baseline)
-        for problem in problems:
-            print(f"baseline regression: {problem}", file=sys.stderr)
-        if problems:
-            status = 1
-    return status
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.passed,
+                "an SLO property gate failed (dominance, recall honesty, or "
+                "below-saturation exactness)",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
 
 
 def _command_radix_bench(arguments) -> int:
-    import json
-
     from repro.bench.radix import (
         RadixWorkload,
         check_baseline,
@@ -751,50 +714,70 @@ def _command_radix_bench(arguments) -> int:
         ),
         device=get_device(arguments.device),
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    status = 0
-    if not report.identical:
-        print(
-            "error: a radix result is not bit-equal to the reference order",
-            file=sys.stderr,
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.identical,
+                "a radix result is not bit-equal to the reference order",
+            ),
+            (
+                report.large_k_monotonic,
+                "the monotonic large-k gate failed (speedup over bitonic "
+                "shrank with k, or radik lost a gated point)",
+            ),
+            (
+                report.batch_amortizes,
+                "the fused batch did not beat per-query execution at every "
+                "batch >= 2",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
+
+
+def _command_stream_bench(arguments) -> int:
+    from repro.streaming import (
+        GATE_SPEEDUP,
+        StreamWorkload,
+        check_baseline,
+        run_streaming_benchmark,
+    )
+
+    defaults = StreamWorkload()
+    overrides = {
+        name: getattr(arguments, name)
+        for name in (
+            "k", "chunk_rows", "model_chunk_rows", "window_chunks",
+            "ticks", "decay", "shards", "seed",
         )
-        status = 1
-    if not report.large_k_monotonic:
-        print(
-            "error: the monotonic large-k gate failed (speedup over bitonic "
-            "shrank with k, or radik lost a gated point)",
-            file=sys.stderr,
-        )
-        status = 1
-    if not report.batch_amortizes:
-        print(
-            "error: the fused batch did not beat per-query execution at "
-            "every batch >= 2",
-            file=sys.stderr,
-        )
-        status = 1
-    if arguments.baseline:
-        with open(arguments.baseline) as handle:
-            baseline = json.load(handle)
-        problems = check_baseline(report, baseline)
-        for problem in problems:
-            print(f"baseline regression: {problem}", file=sys.stderr)
-        if problems:
-            status = 1
-    return status
+        if getattr(arguments, name) is not None
+    }
+    report = run_streaming_benchmark(
+        StreamWorkload(**{**defaults.to_dict(), **overrides}),
+        device=get_device(arguments.device),
+    )
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.identical,
+                "an incremental answer is not bit-equal to its recompute "
+                "oracle",
+            ),
+            (
+                report.fast_enough,
+                f"incremental speedup {report.measured_speedup:.2f}x is "
+                f"below the {GATE_SPEEDUP:.1f}x gate",
+            ),
+        ],
+        check_baseline=check_baseline,
+    )
 
 
 def _command_calibrate(arguments) -> int:
-    import json
-
     from repro.bench.calibrate import (
         CalibrationWorkload,
         run_calibration_benchmark,
@@ -820,39 +803,28 @@ def _command_calibrate(arguments) -> int:
     report = run_calibration_benchmark(
         workload, device=get_device(arguments.device), store=store
     )
-    payload = report.to_dict()
-    if arguments.out:
-        with open(arguments.out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
     if arguments.store:
         store.save(arguments.store)
-    if arguments.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(report.render())
-    status = 0
-    if not report.q_error_improves:
-        print(
-            "error: post-calibration p95 Q-error exceeds pre-calibration",
-            file=sys.stderr,
-        )
-        status = 1
-    if not report.decisions_optimal:
-        print(
-            "error: a fitted correction drifted a planner decision away "
-            "from the observed optimum",
-            file=sys.stderr,
-        )
-        status = 1
-    if not report.default_unchanged:
-        print(
-            "error: replanning with calibrate=False did not reproduce the "
-            "baseline decisions",
-            file=sys.stderr,
-        )
-        status = 1
-    return status
+    return finish_report(
+        report,
+        arguments,
+        gates=[
+            (
+                report.q_error_improves,
+                "post-calibration p95 Q-error exceeds pre-calibration",
+            ),
+            (
+                report.decisions_optimal,
+                "a fitted correction drifted a planner decision away from "
+                "the observed optimum",
+            ),
+            (
+                report.default_unchanged,
+                "replanning with calibrate=False did not reproduce the "
+                "baseline decisions",
+            ),
+        ],
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -881,6 +853,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_slo_bench(arguments)
         if arguments.command == "radix-bench":
             return _command_radix_bench(arguments)
+        if arguments.command == "stream-bench":
+            return _command_stream_bench(arguments)
         if arguments.command == "calibrate":
             return _command_calibrate(arguments)
     except ReproError as error:

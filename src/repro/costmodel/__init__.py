@@ -34,6 +34,7 @@ from repro.costmodel.sharding_model import (
     choose_shards,
     predict_sharded_seconds,
 )
+from repro.costmodel.streaming_model import StreamingModel
 from repro.costmodel.whatif import (
     CrossoverPoint,
     PredictionDelta,
@@ -70,6 +71,7 @@ __all__ = [
     "SHARD_MIN_ROWS",
     "ShardChoice",
     "SortModel",
+    "StreamingModel",
     "choose_shards",
     "predict_sharded_seconds",
     "CrossoverPoint",

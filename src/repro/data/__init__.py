@@ -1,4 +1,4 @@
-"""Workload generators: key distributions and key/value record batches."""
+"""Workload generators: key distributions, record batches, and streams."""
 
 from repro.data.distributions import (
     bucket_killer,
@@ -12,6 +12,7 @@ from repro.data.distributions import (
     zipf_integers,
 )
 from repro.data.records import RecordBatch, gather_payload, make_batch
+from repro.data.stream import stream_chunk, tweet_stream
 
 __all__ = [
     "bucket_killer",
@@ -26,4 +27,6 @@ __all__ = [
     "RecordBatch",
     "gather_payload",
     "make_batch",
+    "stream_chunk",
+    "tweet_stream",
 ]

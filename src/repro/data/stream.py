@@ -1,0 +1,141 @@
+"""Unbounded seeded tweet stream: the chunked twitter corpus.
+
+The continuous-query workload's source.  Where
+:func:`repro.engine.twitter.generate_tweets` materializes one bounded
+table, this module generates the same *kind* of data as an unbounded
+sequence of fixed-size chunks, one per tick, with two guarantees:
+
+* **Deterministic random access** — chunk ``c`` of stream ``seed`` is a
+  pure function of ``(seed, c)`` (each chunk draws from its own
+  ``default_rng([seed, chunk_index])``), so any chunk is reproducible
+  without generating its predecessors and two consumers of the same
+  stream see bit-identical rows.
+* **Bounded memory** — producing a chunk touches O(``chunk_rows``)
+  memory regardless of how far into the stream it sits; nothing is
+  materialized up front and nothing accumulates across chunks (the
+  regression test in ``tests/data/test_stream.py`` pins this).
+
+Chunks are plain column dicts (numpy arrays keyed by column name), not
+engine tables — ``repro.data`` sits below the engine, which wraps chunks
+into :class:`~repro.engine.table.Table` rows itself
+(:func:`repro.engine.twitter.stream_tables`).  ``lang_code`` is the
+integer code into the engine's language list; ``score`` is the ranking
+value streaming subscriptions maintain top-k over (float32, heavy-tailed
+like the retweet/likes popularity mix); ``id`` is the global row index,
+the tie-breaking identity of the canonical order.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Fixed user universe of the unbounded stream (the bounded corpus scales
+#: users with rows; a stream has no row count to scale by).
+STREAM_USERS = 57_000
+
+#: Zipf skew of the per-chunk user draw (matches the bounded corpus).
+STREAM_USER_SKEW = 1.2
+
+#: Language-code mix; codes index the engine's language list, and
+#: en + es = 0.8 preserves the query-3 selectivity of the bounded corpus.
+LANGUAGE_CODE_WEIGHTS = (0.62, 0.18, 0.08, 0.05, 0.04, 0.03)
+
+#: Stream epoch and per-row spacing: row i arrives at EPOCH + i seconds.
+STREAM_EPOCH = 1_493_596_800
+
+
+@lru_cache(maxsize=8)
+def _user_cdf(num_users: int, skew: float) -> np.ndarray:
+    """Truncated-zeta CDF over user ranks (cached; identical per chunk)."""
+    ranks = np.arange(1, num_users + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _validate(chunk_rows: int, seed: int) -> None:
+    if chunk_rows <= 0:
+        raise InvalidParameterError(
+            f"chunk_rows must be positive, got {chunk_rows}"
+        )
+    if seed < 0:
+        raise InvalidParameterError(f"seed must be non-negative, got {seed}")
+
+
+def stream_chunk(
+    chunk_index: int, chunk_rows: int, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Generate one chunk of the tweet stream.
+
+    A pure function of ``(seed, chunk_index)``: the chunk's rng is seeded
+    with the pair, so chunks are independently reproducible in any order.
+    """
+    _validate(chunk_rows, seed)
+    if chunk_index < 0:
+        raise InvalidParameterError(
+            f"chunk_index must be non-negative, got {chunk_index}"
+        )
+    rng = np.random.default_rng([seed, chunk_index])
+    start = chunk_index * chunk_rows
+    row_ids = np.arange(start, start + chunk_rows, dtype=np.int64)
+
+    draws = rng.random(chunk_rows)
+    uid = np.searchsorted(
+        _user_cdf(STREAM_USERS, STREAM_USER_SKEW), draws
+    ).astype(np.int64)
+    tweet_time = (STREAM_EPOCH + row_ids).astype(np.int64)
+
+    # Heavy-tailed popularity with retweet/likes correlation, mirroring
+    # the bounded corpus; ``score`` is the blended ranking value the
+    # streaming top-k maintains.
+    popularity = rng.pareto(1.3, size=chunk_rows)
+    retweet_count = np.floor(popularity * 3.0).astype(np.int32)
+    likes_noise = rng.pareto(1.5, size=chunk_rows)
+    likes_count = np.floor(
+        popularity * 4.0 + likes_noise * 2.0
+    ).astype(np.int32)
+    score = (popularity * 3.0 + likes_noise).astype(np.float32)
+
+    lang_code = rng.choice(
+        len(LANGUAGE_CODE_WEIGHTS),
+        size=chunk_rows,
+        p=np.asarray(LANGUAGE_CODE_WEIGHTS),
+    ).astype(np.int8)
+
+    return {
+        "id": row_ids,
+        "uid": uid,
+        "tweet_time": tweet_time,
+        "retweet_count": retweet_count,
+        "likes_count": likes_count,
+        "lang_code": lang_code,
+        "score": score,
+    }
+
+
+def tweet_stream(
+    chunk_rows: int, seed: int = 0, start_chunk: int = 0
+) -> Iterator[dict[str, np.ndarray]]:
+    """The unbounded stream: yields chunks forever, one per tick.
+
+    Lazy by construction — each ``next()`` generates exactly one chunk
+    and holds no reference to previous chunks, so a consumer that drops
+    its chunks runs in O(``chunk_rows``) memory no matter how long the
+    stream runs.  ``start_chunk`` resumes mid-stream (chunks are
+    independently seeded, so resumption is exact).
+    """
+    _validate(chunk_rows, seed)
+    if start_chunk < 0:
+        raise InvalidParameterError(
+            f"start_chunk must be non-negative, got {start_chunk}"
+        )
+    chunk_index = start_chunk
+    while True:
+        yield stream_chunk(chunk_index, chunk_rows, seed)
+        chunk_index += 1

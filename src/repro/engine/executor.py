@@ -26,14 +26,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import observability as obs
-from repro.algorithms.base import reference_topk
-from repro.algorithms.registry import create_for_node
 from repro.bitonic.kernels import build_trace
 from repro.bitonic.optimizations import FULL, OptimizationFlags
+from repro.engine.operators import SelectionOperator, run_once
 from repro.engine.sql import Query, parse
 from repro.engine.table import Table
 from repro.errors import (
-    FaultError,
     InvalidParameterError,
     ReproError,
     UnsupportedQueryError,
@@ -43,11 +41,8 @@ from repro.gpu.counters import ExecutionTrace
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import TraceTime, trace_time
 from repro.plan import (
-    CPU_FALLBACK,
-    ApproxTopK,
     Fallback,
     Filter,
-    Merge,
     PlanNode,
     Scan,
     build_fallback,
@@ -451,78 +446,21 @@ class QueryExecutor:
         k: int,
         matched_model: int,
     ) -> tuple[np.ndarray, ExecutionTrace | None]:
-        """Walk the selection plan's fallback alternatives.
+        """Run the selection through the incremental operator contract.
 
-        The single fault-retry/CPU-oracle wrapper for every selection the
-        engine runs, exact or approximate: each kernel stage gets
-        ``fault_retries`` bounded retries on an injected device fault;
-        the terminal ``cpu-heap`` stage is the oracle, which has no device
-        to lose and answers exactly.  Returns the selected indices plus
-        the operator's own trace for stages that model one (the
-        approximate and sharded operators) — None means "account with the
-        exact query-level trace".
-
-        The functional selection is an implementation detail, not a
-        modeled kernel; its launches are re-accounted by the query's own
-        trace, so observation is suspended around it.
+        A one-shot query is the degenerate stream: the
+        :class:`~repro.engine.operators.SelectionOperator` is opened,
+        advanced with the full candidate array as a single chunk, emitted
+        once, and closed — bit-identical to walking the plan directly,
+        and the same operator a continuous subscription drives per tick.
         """
-        winner = plan.alternatives[0]
-        span_attrs: dict = {"candidates": len(ranks)}
-        if isinstance(winner, ApproxTopK):
-            span_name = "phase:functional-approx-topk"
-            span_attrs["buckets"] = winner.buckets
-        elif isinstance(winner, Merge):
-            span_name = "phase:functional-sharded-topk"
-            span_attrs["shards"] = len(winner.inputs)
-        else:
-            span_name = "phase:functional-topk"
-        retries = 0
-        oracle = False
-        outcome: tuple[np.ndarray, ExecutionTrace | None] | None = None
-        with obs.span(span_name, category="phase", **span_attrs):
-            with obs.suspended():
-                for node in plan.alternatives:
-                    if getattr(node, "algorithm", "") == CPU_FALLBACK:
-                        oracle = True
-                        with faults.suspended():
-                            _, indices = reference_topk(ranks, k)
-                        outcome = (indices, None)
-                        break
-                    # Stages that model their own kernels (the approximate
-                    # and sharded operators, and the adaptive radix select
-                    # whose pass schedule only the run itself knows) hand
-                    # their trace up; bitonic stages are re-accounted by
-                    # the query-level pipeline trace.
-                    own_trace = (
-                        isinstance(node, (ApproxTopK, Merge))
-                        or getattr(node, "algorithm", "") == "radik"
-                    )
-                    for _attempt in range(self.fault_retries + 1):
-                        try:
-                            result = create_for_node(
-                                node, self.device, flags=self.flags
-                            ).run(
-                                ranks,
-                                k,
-                                model_n=matched_model if own_trace else None,
-                            )
-                            outcome = (
-                                result.indices,
-                                result.trace if own_trace else None,
-                            )
-                            break
-                        except FaultError:
-                            retries += 1
-                    if outcome is not None:
-                        break
-        assert outcome is not None
-        registry = obs.active_metrics()
-        if registry is not None:
-            if retries:
-                registry.counter("engine.fault_retries").inc(retries)
-            if oracle:
-                registry.counter("engine.cpu_fallbacks").inc()
-        return outcome
+        operator = SelectionOperator(
+            plan,
+            device=self.device,
+            flags=self.flags,
+            fault_retries=self.fault_retries,
+        )
+        return run_once(operator, ranks, k, model_n=matched_model)
 
     # -- trace embedding --------------------------------------------------
 
@@ -737,42 +675,6 @@ class QueryExecutor:
         )
 
     # -- helpers ---------------------------------------------------------
-
-    def _functional_topk(self, ranks: np.ndarray, k: int) -> np.ndarray:
-        """Indices of the top-k ranks, surviving injected device faults.
-
-        The functional selection is an implementation detail, not a
-        modeled kernel; its launches are re-accounted by the query's own
-        trace, so observation is suspended around it.  An injected fault
-        is retried a bounded number of times, then the CPU oracle — which
-        has no device to lose — finishes the query instead of failing it.
-        """
-        retries = 0
-        fell_back = False
-        indices: np.ndarray | None = None
-        with obs.span(
-            "phase:functional-topk", category="phase", candidates=len(ranks)
-        ):
-            with obs.suspended():
-                for attempt in range(self.fault_retries + 1):
-                    try:
-                        indices = BitonicTopK(self.device, self.flags).run(
-                            ranks, k
-                        ).indices
-                        break
-                    except FaultError:
-                        retries += 1
-                if indices is None:
-                    fell_back = True
-                    with faults.suspended():
-                        _, indices = reference_topk(ranks, k)
-        registry = obs.active_metrics()
-        if registry is not None:
-            if retries:
-                registry.counter("engine.fault_retries").inc(retries)
-            if fell_back:
-                registry.counter("engine.cpu_fallbacks").inc()
-        return indices
 
     def _aggregate(
         self,

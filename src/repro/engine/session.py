@@ -162,6 +162,83 @@ class Session:
             )
             return explain_query(executor, text, model_rows)
 
+    def subscribe(
+        self,
+        k: int,
+        chunk_rows: int = 1 << 14,
+        window: int | None = None,
+        decay: float | None = None,
+        mode: str = "auto",
+        source: str = "stream",
+        seed: int = 0,
+    ):
+        """Open a continuous top-k subscription over the tweet stream.
+
+        The continuous-query counterpart of :meth:`sql`: instead of one
+        answer, the returned :class:`~repro.streaming.Subscription` is
+        ticked — each :meth:`~repro.streaming.Subscription.step` pulls
+        the next seeded chunk from the unbounded tweet stream
+        (:func:`repro.data.stream.stream_chunk`, ranking by ``score``
+        with the global row id as the tie-break identity) and emits the
+        refreshed top-k.  Exactly one of ``window`` (sliding window in
+        rows, a multiple of ``chunk_rows``) or ``decay`` (per-tick
+        exponential decay) selects the semantics; ``mode="auto"`` lets
+        the cost model pick incremental vs recompute maintenance::
+
+            with session.subscribe(k=10, window=1 << 18) as stream:
+                result = stream.step()
+
+        Ticks run under the session's observation/calibration scopes, so
+        with ``trace=True`` every tick's kernels land in the tracer.
+        """
+        from repro.data.stream import stream_chunk
+        from repro.streaming import StreamChunk, Subscription
+
+        def chunks():
+            index = 0
+            while True:
+                chunk = stream_chunk(index, chunk_rows, seed)
+                yield StreamChunk(values=chunk["score"], gids=chunk["id"])
+                index += 1
+
+        return Subscription(
+            k,
+            chunk_rows,
+            window=window,
+            decay=decay,
+            device=self.device,
+            flags=self.flags,
+            shards=self.shards,
+            mode=mode,
+            source=source,
+            source_chunks=chunks(),
+            observed=self._observed,
+        )
+
+    def explain_stream(
+        self,
+        k: int,
+        chunk_rows: int = 1 << 14,
+        window: int | None = None,
+        decay: float | None = None,
+        source: str = "stream",
+    ):
+        """Cost out the maintenance strategies for a subscription (see
+        :func:`repro.streaming.explain_stream`)."""
+        from repro.streaming import explain_stream as explain_subscription
+
+        with self._observed():
+            return explain_subscription(
+                k,
+                chunk_rows,
+                window=window,
+                decay=decay,
+                device=self.device,
+                flags=self.flags,
+                shards=self.shards,
+                source=source,
+            )
+
     def serve(self, slo=False, **kwargs):
         """Open a concurrent serving front door over this session.
 

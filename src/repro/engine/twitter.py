@@ -17,9 +17,12 @@ the generator reproduces at any scale:
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.data.distributions import zipf_integers
+from repro.data.stream import stream_chunk, tweet_stream
 from repro.engine.table import Table, make_table
 from repro.errors import InvalidParameterError
 
@@ -69,6 +72,44 @@ def generate_tweets(num_rows: int, seed: int = 0) -> Table:
             "lang": lang,
         },
     )
+
+
+def _chunk_table(chunk: dict[str, np.ndarray]) -> Table:
+    """Wrap one stream chunk's columns into a tweets table."""
+    columns = {
+        name: values
+        for name, values in chunk.items()
+        if name != "lang_code"
+    }
+    columns["lang"] = [LANGUAGES[code] for code in chunk["lang_code"]]
+    return make_table("tweets", columns)
+
+
+def generate_tweet_chunk(
+    chunk_index: int, chunk_rows: int, seed: int = 0
+) -> Table:
+    """One chunk of the unbounded tweet stream as a table.
+
+    A pure function of ``(seed, chunk_index)`` — see
+    :func:`repro.data.stream.stream_chunk` — so any chunk is reproducible
+    without generating its predecessors.
+    """
+    return _chunk_table(stream_chunk(chunk_index, chunk_rows, seed))
+
+
+def stream_tweet_tables(
+    chunk_rows: int, seed: int = 0, start_chunk: int = 0
+) -> Iterator[Table]:
+    """The unbounded tweet stream, lazily wrapped into per-chunk tables.
+
+    The chunked/lazy counterpart of :func:`generate_tweets`: each
+    ``next()`` materializes exactly one ``chunk_rows``-row table and no
+    state accumulates across chunks, so the stream source never holds
+    more than one chunk in memory (unlike the bounded generator, which
+    builds the full table up front).
+    """
+    for chunk in tweet_stream(chunk_rows, seed, start_chunk):
+        yield _chunk_table(chunk)
 
 
 def time_threshold_for_selectivity(selectivity: float) -> int:

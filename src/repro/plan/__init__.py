@@ -22,6 +22,7 @@ from repro.plan.nodes import (
     Merge,
     PlanNode,
     Scan,
+    Stream,
     TopK,
 )
 from repro.plan.plan import (
@@ -51,6 +52,7 @@ __all__ = [
     "PlanChoice",
     "PlanNode",
     "Scan",
+    "Stream",
     "TopK",
     "TopKPlan",
     "bind_plan",

@@ -5,6 +5,8 @@ operator* the database can compose, cost, and swap (Section 8).  This
 module is our equivalent: a small algebra of immutable plan nodes —
 
 * :class:`Scan`       — produce the input rows (table scan or raw vector);
+* :class:`Stream`     — an unbounded chunked source with window/decay
+  annotations (the continuous-query analogue of Scan);
 * :class:`Filter`     — a WHERE predicate over a child's rows;
 * :class:`TopK`       — exact top-k selection with a chosen kernel;
 * :class:`ApproxTopK` — the bucketed approximate operator with its full
@@ -173,6 +175,32 @@ class Scan(PlanNode):
 
 
 @dataclass(frozen=True)
+class Stream(PlanNode):
+    """An unbounded chunked source: the continuous-query analogue of Scan.
+
+    A streaming plan is rooted on one of these instead of a Scan: the
+    engine's tick interpreter pulls one ``chunk_rows``-row chunk per tick
+    and the selection above it maintains its answer incrementally.  The
+    window annotations are *identity*: a sliding-window subscription and
+    a decayed subscription over the same source are different plans (they
+    compute different answers), so both fingerprint distinctly.
+
+    ``window`` is the sliding window length in rows (0 = unbounded);
+    ``decay`` is the per-tick exponential decay factor applied to every
+    live row's score (None = no decay).
+    """
+
+    kind: ClassVar[str] = "Stream"
+
+    source: str = "stream"
+    chunk_rows: int = 0
+    dtype: str = "float32"
+    window: int = 0
+    decay: float | None = None
+    predicted_seconds: float | None = None
+
+
+@dataclass(frozen=True)
 class Filter(PlanNode):
     """A WHERE predicate over the child's rows."""
 
@@ -327,5 +355,5 @@ _SHARD_RANGE = re.compile(r"\[\d+:\d+\)$")
 #: Node kinds by name, for deserialization and registry dispatch.
 NODE_KINDS: dict[str, type] = {
     node.kind: node
-    for node in (Scan, Filter, TopK, ApproxTopK, Batch, Fallback, Merge)
+    for node in (Scan, Stream, Filter, TopK, ApproxTopK, Batch, Fallback, Merge)
 }

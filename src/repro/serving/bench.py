@@ -27,15 +27,13 @@ from repro.algorithms.registry import create
 from repro.core.planner import TopKPlanner
 from repro.errors import InvalidParameterError
 from repro.gpu.device import DeviceSpec, get_device
+from repro.bench.common import BASELINE_TOLERANCE, drifted
 from repro.gpu.timing import trace_time
 from repro.serving.scheduler import TopKServer
 
 #: JSON schema tag of a serialized report.
 REPORT_FORMAT = "repro-serving-bench"
 REPORT_VERSION = 1
-
-#: Relative tolerance when gating simulated totals against a baseline.
-BASELINE_TOLERANCE = 0.15
 
 
 @dataclass
@@ -285,7 +283,7 @@ def check_baseline(report: ServeBenchReport, baseline: dict) -> list[str]:
     for path in ("sequential", "served"):
         expected = baseline[path]["simulated_ms"]
         measured = report.to_dict()[path]["simulated_ms"]
-        if abs(measured - expected) > BASELINE_TOLERANCE * max(expected, 1e-9):
+        if drifted(measured, expected):
             problems.append(
                 f"{path} simulated ms {measured:.3f} deviates more than "
                 f"{BASELINE_TOLERANCE:.0%} from baseline {expected:.3f}"

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.base import reference_topk
+from repro.bench.common import BASELINE_TOLERANCE, drifted
 from repro.errors import InvalidParameterError
 from repro.gpu.device import DeviceSpec, get_device
 from repro.gpu.timing import trace_time
@@ -41,9 +42,6 @@ from repro.sharding.executor import ShardedTopK
 #: JSON schema tag of a serialized report.
 REPORT_FORMAT = "repro-sharding-bench"
 REPORT_VERSION = 1
-
-#: Relative tolerance when gating simulated milliseconds against a baseline.
-BASELINE_TOLERANCE = 0.15
 
 #: The scaling gate's upper end: simulated time must strictly improve at
 #: every step from 1 shard through this count.
@@ -264,9 +262,7 @@ def check_baseline(report: ShardBenchReport, baseline: dict) -> list[str]:
             continue
         label = f"point (shards={shards})"
         expected_ms = expected["simulated_ms"]
-        if abs(point.simulated_ms - expected_ms) > BASELINE_TOLERANCE * max(
-            expected_ms, 1e-9
-        ):
+        if drifted(point.simulated_ms, expected_ms):
             problems.append(
                 f"{label} simulated_ms {point.simulated_ms:.4f} deviates "
                 f"more than {BASELINE_TOLERANCE:.0%} from baseline "

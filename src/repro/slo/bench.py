@@ -37,6 +37,7 @@ from repro.gpu.device import DeviceSpec, get_device
 from repro.observability.metrics import MetricsRegistry
 from repro.serving.plan_cache import PlanCache
 from repro.slo.arrivals import OpenLoopWorkload
+from repro.bench.common import BASELINE_TOLERANCE, drifted
 from repro.slo.qos import DEFAULT_POLICY, SloPolicy
 from repro.slo.scheduler import FifoScheduler, SloScheduler
 from repro.slo.simulator import SimulationResult, simulate
@@ -44,9 +45,6 @@ from repro.slo.simulator import SimulationResult, simulate
 #: JSON schema tag of a serialized report.
 REPORT_FORMAT = "repro-slo-bench"
 REPORT_VERSION = 1
-
-#: Relative tolerance when gating goodput / latency against a baseline.
-BASELINE_TOLERANCE = 0.15
 
 #: A rate point counts as saturated when FIFO goodput falls below this.
 SATURATION_GOODPUT = 0.9
@@ -287,9 +285,7 @@ def check_baseline(report: SloBenchReport, baseline: dict) -> list[str]:
         for arm in ("fifo", "slo"):
             expected = entry[arm]["goodput"]
             measured = getattr(point, arm).goodput
-            if abs(measured - expected) > BASELINE_TOLERANCE * max(
-                expected, 1e-9
-            ):
+            if drifted(measured, expected):
                 problems.append(
                     f"{arm} goodput at rate {rate} ({measured:.3f}) deviates "
                     f"more than {BASELINE_TOLERANCE:.0%} from baseline "
@@ -300,9 +296,7 @@ def check_baseline(report: SloBenchReport, baseline: dict) -> list[str]:
         )
         measured_p99 = point.slo.class_latency("gold").get("p99")
         if expected_p99 is not None and measured_p99 is not None:
-            if abs(measured_p99 - expected_p99) > BASELINE_TOLERANCE * max(
-                expected_p99, 1e-9
-            ):
+            if drifted(measured_p99, expected_p99):
                 problems.append(
                     f"gold p99 at rate {rate} ({measured_p99:.3f} ms) deviates "
                     f"more than {BASELINE_TOLERANCE:.0%} from baseline "

@@ -1,0 +1,74 @@
+"""StreamingModel: pricing the incremental/recompute crossover."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.streaming_model import CANDIDATE_BYTES, StreamingModel
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def model(device):
+    return StreamingModel(device, chunk_rows=1 << 20)
+
+
+class TestValidation:
+    def test_rejects_bad_chunk_rows(self, device):
+        with pytest.raises(InvalidParameterError):
+            StreamingModel(device, chunk_rows=0)
+
+    def test_rejects_bad_window(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.incremental_tick_seconds(0, 1 << 20, 64)
+        with pytest.raises(InvalidParameterError):
+            model.recompute_tick_seconds(1 << 24, 0, 64)
+
+    def test_candidate_layout_is_key_plus_id(self):
+        assert CANDIDATE_BYTES == 8
+
+    def test_supports_bounded_by_network_width(self, model):
+        assert model.supports(1 << 24, 64, np.dtype(np.float32))
+        assert model.supports(1 << 24, 2048, np.dtype(np.float32))
+        assert not model.supports(1 << 24, 4096, np.dtype(np.float32))
+        assert not model.supports(1 << 24, 0, np.dtype(np.float32))
+
+
+class TestPricing:
+    def test_predict_seconds_is_the_incremental_tick(self, model):
+        window = 1 << 24
+        assert model.predict_seconds(window, 64) == (
+            model.incremental_tick_seconds(window, model.chunk_rows, 64)
+        )
+
+    def test_incremental_beats_recompute_at_low_churn(self, model):
+        window, chunk = 1 << 24, 1 << 20
+        assert model.incremental_tick_seconds(window, chunk, 64) < (
+            model.recompute_tick_seconds(window, chunk, 64)
+        )
+        assert model.speedup(window, chunk, 64) > 2.0
+
+    def test_recompute_wins_at_full_churn(self, model):
+        # Chunk == window: incremental pays the same summarize plus the
+        # merge, so it can never price cheaper.
+        window = 1 << 20
+        assert model.choose_mode(window, window, 64) == "recompute"
+
+    def test_choose_mode_flips_with_churn(self, model):
+        window = 1 << 24
+        assert model.choose_mode(window, 1 << 18, 64) == "incremental"
+        assert model.choose_mode(window, window, 64) == "recompute"
+
+    def test_speedup_grows_as_churn_falls(self, model):
+        window = 1 << 24
+        slow = model.speedup(window, 1 << 22, 64)
+        fast = model.speedup(window, 1 << 19, 64)
+        assert fast > slow
+
+    def test_live_chunks_rounds_up(self, model):
+        assert model.live_chunks(100, 30) == 4
+        assert model.live_chunks(90, 30) == 3
+        assert model.live_chunks(10, 30) == 1
+
+    def test_churn_is_clamped_fraction(self, model):
+        assert model.churn(1 << 24, 1 << 20) == pytest.approx(1 / 16)
+        assert model.churn(1 << 20, 1 << 24) == 1.0

@@ -1,0 +1,1 @@
+"""Engine test package."""

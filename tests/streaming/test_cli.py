@@ -1,0 +1,107 @@
+"""The stream-bench command and the streaming EXPLAIN flags."""
+
+import json
+
+from repro.cli import main
+
+FAST = [
+    "--k", "8",
+    "--chunk-rows", "256",
+    "--model-chunk-rows", str(1 << 20),
+    "--window-chunks", "8",
+    "--ticks", "12",
+]
+
+
+class TestStreamBench:
+    def test_text_report(self, capsys):
+        assert main(["stream-bench", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "window-incremental" in out
+        assert "PASS" in out
+
+    def test_json_report(self, capsys):
+        assert main(["stream-bench", *FAST, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-streaming-bench"
+        assert payload["passed"] is True
+        assert payload["workload"]["k"] == 8
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_streaming.json"
+        assert main(["stream-bench", *FAST, "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["format"] == "repro-streaming-bench"
+
+    def test_self_baseline_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_streaming.json"
+        assert main(["stream-bench", *FAST, "--out", str(artifact)]) == 0
+        assert main(
+            ["stream-bench", *FAST, "--baseline", str(artifact)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_baseline_workload_mismatch_fails(self, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_streaming.json"
+        assert main(["stream-bench", *FAST, "--out", str(artifact)]) == 0
+        other = [*FAST[:1], "16", *FAST[2:]]  # k 8 -> 16
+        assert main(
+            ["stream-bench", *other, "--baseline", str(artifact)]
+        ) == 1
+        assert "baseline regression" in capsys.readouterr().err
+
+    def test_failed_speedup_gate_exits_nonzero(self, capsys):
+        # One chunk per window = full churn: incremental cannot beat
+        # recompute, so the speedup gate must trip.
+        assert main(
+            [
+                "stream-bench",
+                "--k", "8",
+                "--chunk-rows", "256",
+                "--model-chunk-rows", str(1 << 20),
+                "--window-chunks", "1",
+                "--ticks", "4",
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_workload_is_a_typed_error(self, capsys):
+        assert main(
+            ["stream-bench", "--k", "512", "--chunk-rows", "256"]
+        ) == 3
+        assert "InvalidParameterError" in capsys.readouterr().err
+
+
+class TestExplainStream:
+    def test_window_explain(self, capsys):
+        assert main(
+            ["explain", "--k", "64",
+             "--window", str(1 << 18), "--chunk-rows", str(1 << 14)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Stream" in out
+        assert "incremental" in out and "recompute" in out
+
+    def test_decay_explain(self, capsys):
+        assert main(
+            ["explain", "--k", "64",
+             "--decay", "0.9", "--chunk-rows", str(1 << 14)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DECAY 0.9" in out
+
+    def test_json_shape(self, capsys):
+        assert main(
+            ["explain", "--k", "64",
+             "--window", str(1 << 18), "--chunk-rows", str(1 << 14),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-plan"
+        kinds = {s["plan"]["kind"] for s in payload["strategies"]}
+        assert kinds == {"TopK"}
+
+    def test_explain_without_sql_or_stream_flags_errors(self, capsys):
+        assert main(["explain"]) == 3
+        assert "InvalidParameterError" in capsys.readouterr().err

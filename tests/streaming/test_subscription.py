@@ -1,0 +1,145 @@
+"""Subscriptions: ticking, identity (plans/fingerprints), and EXPLAIN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streaming.subscription import Subscription, explain_stream
+
+
+class TestConstruction:
+    def test_requires_exactly_one_semantics(self):
+        with pytest.raises(InvalidParameterError):
+            Subscription(4, 64)
+        with pytest.raises(InvalidParameterError):
+            Subscription(4, 64, window=256, decay=0.9)
+
+    def test_window_must_be_chunk_multiple(self):
+        with pytest.raises(InvalidParameterError):
+            Subscription(4, 64, window=100)
+        with pytest.raises(InvalidParameterError):
+            Subscription(4, 64, window=32)
+
+    def test_rejects_bad_chunk_rows(self):
+        with pytest.raises(InvalidParameterError):
+            Subscription(4, 0, window=256)
+
+    def test_decay_forces_incremental_under_auto(self):
+        subscription = Subscription(4, 64, decay=0.9, mode="auto")
+        assert subscription.mode == "incremental"
+        subscription.close()
+
+
+class TestTicking:
+    def test_tick_emits_current_topk(self, rng):
+        with Subscription(
+            3, 16, window=64, mode="incremental"
+        ) as subscription:
+            values = rng.random(16).astype(np.float32)
+            result = subscription.tick(values)
+            assert result.tick == 0
+            assert np.array_equal(
+                result.values, np.sort(values)[::-1][:3]
+            )
+            assert result.simulated_ms > 0
+            assert result.mode == "incremental"
+            assert result.emitted
+
+    def test_auto_gids_are_contiguous_across_ticks(self, rng):
+        with Subscription(
+            16, 16, window=64, mode="incremental"
+        ) as subscription:
+            subscription.tick(rng.random(16).astype(np.float32))
+            result = subscription.tick(
+                np.full(16, 1e9, dtype=np.float32)
+            )
+            # The second chunk's rows got gids 16..31 and all win.
+            assert np.array_equal(
+                result.gids, np.arange(16, 32, dtype=np.int64)
+            )
+
+    def test_shed_tick_absorbs_but_emits_nothing(self, rng):
+        with Subscription(
+            3, 16, window=64, mode="incremental"
+        ) as subscription:
+            big = np.full(16, 1e9, dtype=np.float32)
+            shed = subscription.tick(big, emit=False)
+            assert not shed.emitted
+            assert len(shed.values) == 0
+            # The shed chunk still entered the window.
+            follow = subscription.tick(rng.random(16).astype(np.float32))
+            assert follow.values[0] == 1e9
+
+    def test_step_without_source_raises(self):
+        with Subscription(3, 16, window=64) as subscription:
+            with pytest.raises(InvalidParameterError):
+                subscription.step()
+
+    def test_closed_subscription_rejects_ticks(self, rng):
+        subscription = Subscription(3, 16, window=64)
+        subscription.close()
+        with pytest.raises(InvalidParameterError):
+            subscription.tick(rng.random(16).astype(np.float32))
+
+
+class TestIdentity:
+    def test_plan_roots_topk_over_stream(self):
+        with Subscription(
+            8, 32, window=128, mode="incremental"
+        ) as subscription:
+            plan = subscription.plan()
+            assert plan.kind == "TopK"
+            assert plan.algorithm == "incremental-window"
+            (stream,) = plan.children
+            assert stream.kind == "Stream"
+            assert stream.chunk_rows == 32
+            assert stream.window == 128
+
+    def test_modes_fingerprint_distinctly(self):
+        fingerprints = set()
+        for mode in ("incremental", "recompute"):
+            with Subscription(
+                8, 32, window=128, mode=mode
+            ) as subscription:
+                fingerprints.add(subscription.fingerprint())
+        assert len(fingerprints) == 2
+
+    def test_window_and_decay_fingerprint_distinctly(self):
+        with Subscription(8, 32, window=128) as windowed:
+            with Subscription(8, 32, decay=0.9) as decayed:
+                assert windowed.fingerprint() != decayed.fingerprint()
+
+    def test_different_windows_fingerprint_distinctly(self):
+        with Subscription(8, 32, window=128) as narrow:
+            with Subscription(8, 32, window=256) as wide:
+                assert narrow.fingerprint() != wide.fingerprint()
+
+
+class TestExplainStream:
+    def test_window_prices_both_modes(self, device):
+        plan = explain_stream(64, 1 << 14, window=1 << 18, device=device)
+        modes = [strategy.strategy for strategy in plan.strategies]
+        assert sorted(modes) == ["incremental", "recompute"]
+        # Sorted cheapest first; at 6% churn incremental must win.
+        assert plan.strategies[0].strategy == "incremental"
+        assert (
+            plan.strategies[0].simulated_ms
+            < plan.strategies[1].simulated_ms
+        )
+
+    def test_decay_prices_only_incremental(self, device):
+        plan = explain_stream(64, 1 << 14, decay=0.9, device=device)
+        assert [s.strategy for s in plan.strategies] == ["incremental"]
+
+    def test_sql_summary_line(self, device):
+        plan = explain_stream(8, 128, window=512, device=device)
+        assert plan.sql == (
+            "SUBSCRIBE TOP 8 BY score FROM stream EVERY 128 OVER WINDOW 512"
+        )
+
+    def test_render_includes_plan_tree(self, device):
+        rendered = explain_stream(
+            64, 1 << 14, window=1 << 18, device=device
+        ).render()
+        assert "Stream" in rendered
+        assert "TopK" in rendered

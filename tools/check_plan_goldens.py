@@ -80,6 +80,14 @@ CASES = [
     ),
 ]
 
+#: (golden name, k, chunk_rows, window, decay) — subscription EXPLAINs
+#: rooted on a Stream node; window prices both maintenance modes, decay
+#: only the incremental arm.
+STREAM_CASES = [
+    ("stream-window", 64, 16384, 262144, None),
+    ("stream-decay", 64, 16384, None, 0.9),
+]
+
 
 def cli_explain(sql: str, as_json: bool = False, shards: int = 1) -> str:
     """``repro explain`` output, captured."""
@@ -110,6 +118,86 @@ def sql_explain(sql: str, shards: int = 1) -> str:
     session = Session(shards=shards)
     session.register(generate_tweets(ROWS, seed=SEED))
     return session.sql(f"EXPLAIN {sql}", model_rows=MODEL_ROWS).render()
+
+
+def cli_explain_stream(
+    k: int,
+    chunk_rows: int,
+    window: int | None,
+    decay: float | None,
+    as_json: bool = False,
+) -> str:
+    """``repro explain --window/--decay`` output, captured."""
+    from repro.cli import main
+
+    argv = ["explain", "--k", str(k), "--chunk-rows", str(chunk_rows)]
+    if window is not None:
+        argv.extend(["--window", str(window)])
+    if decay is not None:
+        argv.extend(["--decay", str(decay)])
+    if as_json:
+        argv.append("--json")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = main(argv)
+    if status != 0:
+        raise SystemExit(
+            f"repro explain (stream) failed with status {status}"
+        )
+    return buffer.getvalue()
+
+
+def session_explain_stream(
+    k: int, chunk_rows: int, window: int | None, decay: float | None
+) -> str:
+    """``Session.explain_stream`` rendering."""
+    from repro.engine import Session
+
+    session = Session()
+    return session.explain_stream(
+        k, chunk_rows, window=window, decay=decay
+    ).render()
+
+
+def check_stream_json_shape(
+    name: str,
+    k: int,
+    chunk_rows: int,
+    window: int | None,
+    decay: float | None,
+    problems: list[str],
+) -> None:
+    doc = json.loads(
+        cli_explain_stream(k, chunk_rows, window, decay, as_json=True)
+    )
+    if doc.get("format") != "repro-plan":
+        problems.append(f"{name}: --json format tag is {doc.get('format')!r}")
+        return
+    expected_modes = {"incremental", "recompute"} if window else {"incremental"}
+    modes = {strategy["strategy"] for strategy in doc["strategies"]}
+    if modes != expected_modes:
+        problems.append(
+            f"{name}: strategies are {sorted(modes)}, "
+            f"expected {sorted(expected_modes)}"
+        )
+    for strategy in doc["strategies"]:
+        tree = strategy.get("plan")
+        if tree is None:
+            problems.append(
+                f"{name}: strategy {strategy['strategy']!r} has no plan tree"
+            )
+            continue
+        if tree["kind"] != "TopK":
+            problems.append(
+                f"{name}: {strategy['strategy']!r} plan root is "
+                f"{tree['kind']!r}, expected TopK"
+            )
+        children = tree.get("children", [])
+        if not children or children[0]["kind"] != "Stream":
+            problems.append(
+                f"{name}: {strategy['strategy']!r} plan is not rooted on a "
+                "Stream source"
+            )
 
 
 def check_json_shape(
@@ -195,12 +283,55 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"{name}: plan tree changed:\n{diff}")
         check_json_shape(name, sql, shards, problems)
 
+    for name, k, chunk_rows, window, decay in STREAM_CASES:
+        rendered = cli_explain_stream(k, chunk_rows, window, decay)
+        via_session = session_explain_stream(k, chunk_rows, window, decay)
+        if via_session.rstrip("\n") != rendered.rstrip("\n"):
+            problems.append(
+                f"{name}: Session.explain_stream and `repro explain` "
+                "disagree:\n"
+                + "\n".join(
+                    difflib.unified_diff(
+                        via_session.splitlines(),
+                        rendered.splitlines(),
+                        "session-explain-stream",
+                        "repro-explain",
+                        lineterm="",
+                    )
+                )
+            )
+        golden_path = GOLDEN_DIR / f"{name}.txt"
+        if arguments.update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(rendered)
+            print(f"wrote {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            problems.append(f"{name}: missing golden {golden_path}")
+            continue
+        golden = golden_path.read_text()
+        if golden != rendered:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    golden.splitlines(),
+                    rendered.splitlines(),
+                    f"goldens/explain/{name}.txt",
+                    "current",
+                    lineterm="",
+                )
+            )
+            problems.append(f"{name}: plan tree changed:\n{diff}")
+        check_stream_json_shape(name, k, chunk_rows, window, decay, problems)
+
     if arguments.update:
         return 0
     for problem in problems:
         print(f"FAIL {problem}", file=sys.stderr)
     if not problems:
-        print(f"ok: {len(CASES)} EXPLAIN plan trees match the goldens")
+        print(
+            f"ok: {len(CASES) + len(STREAM_CASES)} EXPLAIN plan trees "
+            "match the goldens"
+        )
     return 1 if problems else 0
 
 
